@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 2 (TTFT breakdown vs adapter rank)."""
+
+import pytest
+
+from repro.experiments.fig02_rank_breakdown import PAPER_TTFT_MS, run
+
+
+def test_fig02(run_experiment):
+    result = run_experiment(run)
+    for row in result.rows:
+        assert row["ttft_ms"] == pytest.approx(PAPER_TTFT_MS[row["rank"]], rel=0.03)
+    rank128 = result.rows[-1]
+    assert rank128["load_share"] == pytest.approx(0.175, abs=0.02)

@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 3 (TTFT vs input size per rank)."""
+
+from repro.experiments.fig03_input_sweep import run
+
+
+def test_fig03(run_experiment):
+    result = run_experiment(run)
+    # Rank impact grows with input size (the paper's observation).
+    first, last = result.rows[0], result.rows[-1]
+    assert (last["ttft_r128_s"] - last["ttft_r8_s"]) > (
+        first["ttft_r128_s"] - first["ttft_r8_s"])
+    for row in result.rows:
+        assert row["ttft_r8_s"] < row["ttft_r32_s"] < row["ttft_r128_s"]

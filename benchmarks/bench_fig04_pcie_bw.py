@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 4 (normalized PCIe bandwidth vs load)."""
+
+from repro.experiments.fig04_pcie_bw import run
+
+
+def test_fig04(run_experiment):
+    result = run_experiment(run, duration=60.0, loads=(5.0, 8.0))
+    for row in result.rows:
+        # More distinct adapters -> more PCIe traffic.
+        assert row["lora_500_norm_bw"] > row["lora_50_norm_bw"] > row["lora_1_norm_bw"]
+    # Traffic grows with load for the many-adapter pools.
+    assert result.rows[-1]["lora_500_norm_bw"] > result.rows[0]["lora_500_norm_bw"]

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 5 (adapter-loading share under TP)."""
+
+from repro.experiments.fig05_tp_loading import run
+
+
+def test_fig05(run_experiment):
+    result = run_experiment(run)
+    for row in result.rows:
+        # The loading share grows with the TP degree...
+        assert row["load_share_tp2"] < row["load_share_tp4"] < row["load_share_tp8"]
+    # ...and with the adapter rank.
+    shares_tp4 = [row["load_share_tp4"] for row in result.rows]
+    assert shares_tp4 == sorted(shares_tp4)
+    # Paper: ~68% for rank 32 at TP4.
+    rank32 = next(r for r in result.rows if r["rank"] == 32)
+    assert 0.45 <= rank32["load_share_tp4"] <= 0.85

@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 6 (GPU memory usage over time)."""
+
+from repro.experiments.fig06_memory_timeline import run
+
+
+def test_fig06(run_experiment):
+    result = run_experiment(run, duration=120.0, sample_interval=2.0)
+    assert len(result.rows) >= 20
+    for row in result.rows:
+        assert row["base_llm_gb"] <= row["base_plus_kv_gb"] <= row["total_used_gb"]
+        assert row["total_used_gb"] <= row["capacity_gb"] + 1e-9
+    # The paper's point: idle memory exists most of the time.
+    idle = [row["idle_gb"] for row in result.rows]
+    assert sorted(idle)[len(idle) // 2] > 1.0

@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 7 (isolated TTFT/E2E CDFs, base vs LoRA)."""
+
+from repro.experiments.fig07_serial_cdf import run
+
+
+def test_fig07(run_experiment):
+    result = run_experiment(run, n_requests=600)
+    p50 = next(r for r in result.rows if r["percentile"] == 50)
+    p99 = next(r for r in result.rows if r["percentile"] == 99)
+    # Heavy tail: P99 well above P50.
+    assert p99["base_e2e_s"] > 3 * p50["base_e2e_s"]
+    # Adapters shift every percentile up, and the tail more in absolute terms.
+    for row in result.rows:
+        assert row["lora_ttft_s"] > row["base_ttft_s"]
+        assert row["lora_e2e_s"] > row["base_e2e_s"]
+    assert (p99["lora_e2e_s"] - p99["base_e2e_s"]) > (
+        p50["lora_e2e_s"] - p50["base_e2e_s"])

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 8 (slowdown CDF by scheduling policy)."""
+
+from repro.experiments.fig08_slowdown_cdf import run
+
+
+def test_fig08(run_experiment):
+    result = run_experiment(run, duration=90.0, medium_rps=8.0, high_rps=11.0)
+    high = {row["policy"]: row for row in result.rows if row["load"] == "high"}
+    # Under high load the deployed Chameleon policy has the lowest tail
+    # slowdown among the iteration-level policies (paper Figure 8b).
+    assert high["OptimizedSched"]["p99"] <= high["FIFO"]["p99"]
+    assert high["OptimizedSched"]["p99"] <= high["SJF"]["p99"]
+    # Slowdowns are always >= ~1 (never faster than isolated).
+    for row in result.rows:
+        assert row["p50"] >= 0.99

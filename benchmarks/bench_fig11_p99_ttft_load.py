@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 11 (P99 TTFT vs load; the throughput headline)."""
+
+from repro.experiments.fig11_p99_ttft_load import run
+
+
+def test_fig11(run_experiment):
+    result = run_experiment(run, duration=90.0, loads=(6.0, 9.0, 12.0))
+    by_rps = {row["rps"]: row for row in result.rows}
+    # At high load, full Chameleon beats S-LoRA on P99 TTFT by a wide margin.
+    high = by_rps[9.0]
+    assert high["chameleon_p99_s"] < 0.6 * high["slora_p99_s"]
+    # The cache-only ablation also beats S-LoRA; the scheduler-only ablation
+    # tracks S-LoRA closely (paper: 1.2x vs 1.05x throughput).
+    assert high["chameleon_nosched_p99_s"] < high["slora_p99_s"]
+    # Throughput ratio appears in the notes.
+    assert any("throughput" in note for note in result.notes)

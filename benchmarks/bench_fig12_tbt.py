@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 12 (P99 TBT vs load)."""
+
+from repro.experiments.fig12_tbt import run
+
+
+def test_fig12(run_experiment):
+    result = run_experiment(run, duration=90.0, loads=(6.0, 9.0))
+    for row in result.rows:
+        # Chameleon's TBT is no worse than S-LoRA's.
+        assert row["chameleon_p99_tbt_ms"] <= row["slora_p99_tbt_ms"] * 1.1

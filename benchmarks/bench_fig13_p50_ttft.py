@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 13 (P50 TTFT vs load)."""
+
+from repro.experiments.fig13_p50_ttft import run
+
+
+def test_fig13(run_experiment):
+    result = run_experiment(run, duration=90.0, loads=(6.0, 9.0, 12.0))
+    for row in result.rows:
+        assert row["chameleon_p50_s"] <= row["slora_p50_s"]
+    # Median benefits grow with load (paper: 13.9% -> 48.1%).
+    assert result.rows[-1]["reduction"] >= result.rows[0]["reduction"] - 0.05

@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 14 (adapter-load latency on the critical path)."""
+
+from repro.experiments.fig14_load_latency_cdf import run
+
+
+def test_fig14(run_experiment):
+    result = run_experiment(run, duration=90.0)
+    rows = {row["preset"]: row for row in result.rows}
+    # The cache removes loading from the critical path for most requests
+    # (paper: 75% hit the cache).
+    assert rows["chameleon"]["zero_load_share"] > 0.7
+    assert rows["chameleon"]["zero_load_share"] > rows["slora"]["zero_load_share"]
+    # Chameleon's residual loads are cheaper than S-LoRA's worst case.
+    assert rows["chameleon"]["p99_ms"] <= rows["slora"]["p100_ms"]

@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 15 (P99 TTFT over time by policy)."""
+
+import numpy as np
+
+from repro.experiments.fig15_ttft_timeline import run
+
+
+def test_fig15(run_experiment):
+    result = run_experiment(run, duration=150.0, window=30.0)
+    assert len(result.rows) >= 3
+
+    def mean_of(column):
+        values = [row[column] for row in result.rows if row[column] is not None]
+        return float(np.mean(values))
+
+    # Full Chameleon keeps the windowed tail below both baselines.
+    assert mean_of("chameleon_p99_s") < mean_of("slora_p99_s")
+    assert mean_of("chameleon_p99_s") < mean_of("slora_sjf_p99_s")

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 16 (queueing delay per size class and policy)."""
+
+from repro.experiments.fig16_queue_delay import run
+
+
+def test_fig16(run_experiment):
+    result = run_experiment(run, duration=150.0)
+    rows = {row["policy"]: row for row in result.rows}
+
+    def ratio(row):
+        return row["large_delay_s"] / max(1e-9, row["small_delay_s"])
+
+    # SJF's starvation signature: its large/small wait ratio dwarfs FIFO's
+    # (paper: 5.15 s vs 1.5 s while FIFO is roughly uniform).
+    assert ratio(rows["SJF"]) > 1.5 * ratio(rows["FIFO"])
+    # The Chameleon scheduler's small-class delay beats FIFO's (express lane).
+    assert rows["ChameleonSched"]["small_delay_s"] <= rows["FIFO"]["small_delay_s"]
+    # Paper: Chameleon brings every class's wait below 8% of its E2E.
+    for cls in ("small", "medium", "large"):
+        assert rows["ChameleonSched"][f"{cls}_e2e_share"] < 0.08

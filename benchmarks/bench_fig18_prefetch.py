@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 18 (histogram-driven prefetching)."""
+
+from repro.experiments.fig18_prefetch import run
+
+
+def test_fig18(run_experiment):
+    result = run_experiment(run, duration=120.0)
+    total = next(row for row in result.rows if row["rank"] == "total")
+    assert total["Chameleon_norm_p99"] < 1.0
+    # Prefetching never hurts materially and usually helps (paper: -8.8%).
+    assert total["Chameleon+Prefetch_norm_p99"] <= total["Chameleon_norm_p99"] * 1.1

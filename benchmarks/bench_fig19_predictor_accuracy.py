@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 19 (predictor-accuracy sensitivity)."""
+
+from repro.experiments.fig19_predictor_accuracy import run
+
+
+def test_fig19(run_experiment):
+    result = run_experiment(run, duration=120.0)
+    chameleon = {row["accuracy"]: row for row in result.rows
+                 if row["mode"] == "Chameleon"}
+    # The full WRS at 80% accuracy tracks the oracle closely (paper).
+    assert chameleon[0.8]["p99_ttft_s"] <= chameleon[1.0]["p99_ttft_s"] * 1.5
+    # The observed accuracy matches the knob.
+    for row in result.rows:
+        if row["accuracy"] < 1.0:
+            assert abs(row["observed_accuracy"] - row["accuracy"]) < 0.08

@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 20 (adapter count and popularity sensitivity)."""
+
+from repro.experiments.fig20_adapter_sensitivity import run
+
+
+def test_fig20(run_experiment):
+    result = run_experiment(run, duration=90.0, pool_sizes=(10, 100, 200))
+    pool_rows = [row for row in result.rows if "n_adapters" in row]
+    grid_rows = [row for row in result.rows if "distribution" in row]
+    assert len(pool_rows) == 3 and len(grid_rows) == 3
+    # Chameleon beats S-LoRA at every pool size under both rank popularities.
+    for row in pool_rows:
+        assert row["cham_uni_p99_s"] <= row["slora_uni_p99_s"]
+        assert row["cham_pow_p99_s"] <= row["slora_pow_p99_s"]
+    # More adapters hurt S-LoRA more than Chameleon.
+    s_growth = pool_rows[-1]["slora_uni_p99_s"] / pool_rows[0]["slora_uni_p99_s"]
+    c_growth = pool_rows[-1]["cham_uni_p99_s"] / pool_rows[0]["cham_uni_p99_s"]
+    assert s_growth > c_growth * 0.9
+    # Chameleon wins in every popularity configuration.
+    for row in grid_rows:
+        assert row["cham_norm"] <= row["slora_norm"]

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 21 (Splitwise / WildChat / LMSYS traces)."""
+
+from repro.experiments.fig21_traces import run
+
+
+def test_fig21(run_experiment):
+    result = run_experiment(run, duration=90.0)
+    assert len(result.rows) == 3
+    for row in result.rows:
+        # Chameleon improves P99 on every trace without re-tuning.
+        assert row["chameleon_p99_s"] <= row["slora_p99_s"]
+    # And meets the per-trace SLO wherever S-LoRA does.
+    for row in result.rows:
+        if row["slora_meets_slo"]:
+            assert row["chameleon_meets_slo"]

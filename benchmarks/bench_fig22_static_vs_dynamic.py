@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 22 (dynamic vs static queue configuration)."""
+
+from repro.experiments.fig22_static_vs_dynamic import run
+
+
+def test_fig22(run_experiment):
+    result = run_experiment(run, duration=90.0)
+    assert {row["load"] for row in result.rows} == {"low", "medium", "high"}
+    for row in result.rows:
+        # Dynamic reconfiguration is never much worse than the static split...
+        assert row["chameleon_norm"] <= 1.25
+    # ...and the high-load point shows no regression (paper: ~10% better).
+    high = next(row for row in result.rows if row["load"] == "high")
+    assert high["chameleon_norm"] <= 1.1

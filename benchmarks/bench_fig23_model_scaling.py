@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 23 (scalability with model size)."""
+
+from repro.experiments.fig23_model_scaling import run
+
+
+def test_fig23(run_experiment):
+    result = run_experiment(run, duration=90.0)
+    models = {row["model"] for row in result.rows}
+    assert models == {"llama-7b", "llama-13b", "llama-30b"}
+    for row in result.rows:
+        # Chameleon's P99 never exceeds S-LoRA's for any model/load.
+        assert row["norm_p99"] <= 1.05
+    # Throughput ratios > 1 for every model (paper: 1.86/1.41/1.67x).
+    for model in models:
+        ratios = [row["throughput_ratio"] for row in result.rows
+                  if row["model"] == model]
+        assert ratios[0] > 1.0

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 24 (scalability with GPU memory size)."""
+
+from repro.experiments.fig24_memory_scaling import run
+
+
+def test_fig24(run_experiment):
+    result = run_experiment(run, duration=90.0, loads=(4.0, 8.0, 12.0))
+    llama7b = [row for row in result.rows if row["model"] == "llama-7b"]
+    assert len(llama7b) == 3   # 24, 48, 80 GB
+    for row in result.rows:
+        assert row["throughput_ratio"] >= 0.95
+    # The advantage grows (or at least does not shrink) with memory:
+    # more idle bytes -> more adapter cache (paper: 1.4x -> 1.6x -> 1.9x).
+    ratios = [row["throughput_ratio"] for row in llama7b]
+    assert ratios[-1] >= ratios[0] - 0.1

@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 25 (multi-GPU tensor-parallel comparison)."""
+
+import numpy as np
+
+from repro.experiments.fig25_tensor_parallel import run
+
+
+def test_fig25(run_experiment):
+    result = run_experiment(run, duration=90.0)
+    for row in result.rows:
+        assert row["norm_p99"] <= 1.05
+    # The average reduction widens with the TP degree (paper Figure 25).
+    mean_norm = {
+        tp: float(np.mean([row["norm_p99"] for row in result.rows if row["tp"] == tp]))
+        for tp in (1, 2, 4)
+    }
+    assert mean_norm[4] <= mean_norm[1] + 0.05

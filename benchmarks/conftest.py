@@ -1,0 +1,24 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one paper figure at a reduced scale (shorter
+simulated durations, coarser load grids) so the full suite runs in minutes.
+``run_experiment`` wraps the experiment entry point under pytest-benchmark
+with a single round — these are end-to-end simulations, not microbenchmarks,
+so repetition buys nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    def _run(fn, **params):
+        result = benchmark.pedantic(lambda: fn(**params), rounds=1, iterations=1)
+        assert result.rows, f"experiment {result.experiment} produced no rows"
+        print()
+        print(result.to_table())
+        return result
+
+    return _run

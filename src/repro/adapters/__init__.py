@@ -1,0 +1,6 @@
+"""LoRA adapter specifications and the host-side adapter registry."""
+
+from repro.adapters.adapter import LoraAdapter
+from repro.adapters.registry import AdapterRegistry, DEFAULT_RANKS
+
+__all__ = ["LoraAdapter", "AdapterRegistry", "DEFAULT_RANKS"]

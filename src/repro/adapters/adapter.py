@@ -1,0 +1,27 @@
+"""A single LoRA adapter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LoraAdapter:
+    """Immutable description of one fine-tuned adapter.
+
+    Attributes:
+        adapter_id: Unique id within the registry.
+        rank: LoRA rank (the paper's "size" axis of heterogeneity).
+        size_bytes: GPU bytes the adapter occupies (derived from the base
+            model's geometry by the registry).
+    """
+
+    adapter_id: int
+    rank: int
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.rank <= 0:
+            raise ValueError(f"rank must be positive, got {self.rank}")
+        if self.size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive, got {self.size_bytes}")

@@ -1,0 +1,121 @@
+"""Command-line entry point: run any paper experiment.
+
+Usage::
+
+    python -m repro.cli fig02
+    python -m repro.cli fig11 --param duration=120 --param "loads=[6,9,12]"
+    python -m repro.cli all --quick
+
+``--quick`` shrinks the simulated durations so the whole suite runs in
+minutes (the same scaling the benchmarks use); numbers are noisier but the
+shapes hold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+import time
+
+from repro.experiments.registry import get_experiment, list_experiments
+
+#: Downscaled parameters applied by --quick (only where accepted).
+QUICK_OVERRIDES = {
+    "fig04": {"duration": 60.0},
+    "fig06": {"duration": 120.0},
+    "fig07": {"n_requests": 500},
+    "fig08": {"duration": 90.0},
+    "fig11": {"duration": 90.0, "loads": (6.0, 9.0, 12.0)},
+    "fig12": {"duration": 90.0, "loads": (6.0, 9.0, 12.0)},
+    "fig13": {"duration": 90.0, "loads": (6.0, 9.0, 12.0)},
+    "fig14": {"duration": 90.0},
+    "fig15": {"duration": 150.0, "window": 30.0},
+    "fig16": {"duration": 90.0},
+    "fig17": {"duration": 120.0},
+    "fig18": {"duration": 120.0},
+    "fig19": {"duration": 120.0},
+    "fig20": {"duration": 90.0, "pool_sizes": (10, 100, 200)},
+    "fig21": {"duration": 90.0},
+    "fig22": {"duration": 90.0},
+    "fig23": {"duration": 90.0},
+    "fig24": {"duration": 90.0, "loads": (4.0, 8.0, 12.0)},
+    "fig25": {"duration": 90.0},
+    "abl_wrs_degree": {"duration": 90.0, "loads": (9.0, 11.0)},
+    "abl_eviction_weights": {"duration": 60.0, "grid_step": 0.5},
+    "abl_gdsf": {"duration": 90.0},
+    "abl_load_stall": {"duration": 90.0, "bandwidths": (None, 3.0, 1.5)},
+    "abl_dp_dispatch": {"duration": 90.0},
+}
+
+
+def _parse_param(raw: str) -> tuple[str, object]:
+    if "=" not in raw:
+        raise argparse.ArgumentTypeError(f"--param expects key=value, got {raw!r}")
+    key, value = raw.split("=", 1)
+    try:
+        parsed = ast.literal_eval(value)
+    except (ValueError, SyntaxError):
+        parsed = value
+    return key, parsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Regenerate the Chameleon paper's tables and figures.",
+    )
+    parser.add_argument("experiment",
+                        help="experiment id (e.g. fig11), 'all', or 'list'")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink durations for a fast, noisier pass")
+    parser.add_argument("--param", action="append", default=[],
+                        type=_parse_param, metavar="KEY=VALUE",
+                        help="override an experiment parameter (repeatable)")
+    parser.add_argument("--plot", action="store_true",
+                        help="render an ASCII chart alongside the table")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write results as JSON to PATH")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for experiment_id in list_experiments():
+            print(experiment_id)
+        return 0
+
+    targets = list_experiments() if args.experiment == "all" else [args.experiment]
+    collected = []
+    for experiment_id in targets:
+        run = get_experiment(experiment_id)
+        params = dict(QUICK_OVERRIDES.get(experiment_id, {})) if args.quick else {}
+        params.update(dict(args.param))
+        start = time.time()
+        result = run(**params)
+        elapsed = time.time() - start
+        print(result.to_table())
+        if args.plot:
+            from repro.viz import result_chart
+
+            chart = result_chart(result)
+            if chart:
+                print()
+                print(chart)
+        print(f"(elapsed: {elapsed:.1f}s)")
+        print()
+        collected.append(result)
+    if args.json:
+        import json
+
+        payload = [
+            {"experiment": r.experiment, "description": r.description,
+             "params": r.params, "rows": r.rows, "notes": r.notes}
+            for r in collected
+        ]
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, default=str)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Chameleon's contribution: the adapter cache and the MLQ scheduler."""
+
+from repro.core.wrs import WrsParams, WorkloadBounds, compute_wrs
+from repro.core.clustering import kmeans_1d, wcss, choose_k_elbow, cluster_cutoffs
+from repro.core.quotas import QueueStats, solve_quotas
+from repro.core.eviction import (
+    EvictionPolicy,
+    ChameleonScorePolicy,
+    LruPolicy,
+    FairSharePolicy,
+    GdsfPolicy,
+    make_policy,
+)
+from repro.core.cache import ChameleonCacheManager, CachePrefetcher
+from repro.core.mlq import MlqConfig, MlqScheduler
+from repro.core.tuning import ProfilingResult, profile_eviction_weights, simplex_grid
+
+__all__ = [
+    "WrsParams",
+    "WorkloadBounds",
+    "compute_wrs",
+    "kmeans_1d",
+    "wcss",
+    "choose_k_elbow",
+    "cluster_cutoffs",
+    "QueueStats",
+    "solve_quotas",
+    "EvictionPolicy",
+    "ChameleonScorePolicy",
+    "LruPolicy",
+    "FairSharePolicy",
+    "GdsfPolicy",
+    "make_policy",
+    "ChameleonCacheManager",
+    "CachePrefetcher",
+    "MlqConfig",
+    "MlqScheduler",
+    "ProfilingResult",
+    "profile_eviction_weights",
+    "simplex_grid",
+]

@@ -1,0 +1,453 @@
+"""The Chameleon multi-level-queue scheduler (§4.3).
+
+Requests are sized by their Weighted Request Size, binned into K queues whose
+cutoffs come from K-means clustering of the recent WRS distribution, and
+admitted by Algorithm 1: every iteration each queue admits up to its token
+quota (small-request queues first — the express lane), then the spare
+capacity of empty queues is redistributed to queues that still have waiting
+requests.  Quotas come from the §4.3.5 M/M/1 solver and everything is
+re-derived every ``T_refresh`` (5 minutes in the paper).
+
+Also implemented: the §4.3.3 *opportunistic bypass* — when the head of a
+queue cannot be admitted because its adapter does not fit even after evicting
+every idle cached adapter, a younger request from the same queue whose
+adapter is available may jump ahead, provided its predicted execution is
+shorter than the predicted wait; if memory frees up early, the bypasser is
+*squashed* (rolled back and re-queued) so the bypassed request is not starved.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.adapters.registry import AdapterRegistry
+from repro.core.clustering import choose_k_elbow, cluster_cutoffs, kmeans_1d
+from repro.core.quotas import QueueStats, solve_quotas
+from repro.core.wrs import WorkloadBounds, WrsParams, compute_wrs, max_possible_wrs
+from repro.llm.costmodel import CostModel
+from repro.llm.model import ModelSpec
+from repro.serving.admission import AdmissionContext, AdmitResult
+from repro.serving.schedulers import Scheduler
+from repro.workload.request import Request, RequestState
+
+
+@dataclass
+class MlqConfig:
+    """Knobs of the MLQ scheduler; defaults follow the paper."""
+
+    k_max: int = 4
+    t_refresh: float = 300.0
+    min_samples: int = 50
+    history_size: int = 4096
+    wrs_params: WrsParams = field(default_factory=WrsParams)
+    bypass_enabled: bool = True
+    #: SLO used by the quota solver (seconds).
+    slo: float = 5.0
+    #: Factor applied to the memory-derived token pool when sizing quotas.
+    #: Token charges use *predicted* output lengths, whose errors are biased
+    #: upward (log-normal misses), so literal 1.0 provisioning under-admits
+    #: relative to what memory actually allows and inflicts phantom queueing
+    #: (worst for large, hard-to-predict requests).  Actual memory admission
+    #: is enforced separately by the engine, so the overcommit can never
+    #: cause an OOM — quotas retain their §4.3 role of *relative* shares and
+    #: starvation protection.
+    token_overcommit: float = 2.0
+    #: When set, use a static configuration (Figure 22's "Static"): this many
+    #: queues with equal WRS ranges and equal quotas, never refreshed.
+    static_k: Optional[int] = None
+
+
+@dataclass
+class _Queue:
+    """One scheduling lane."""
+
+    upper: float                      # exclusive WRS upper bound (inf for last)
+    quota: float = 0.0                # assigned tokens
+    borrowed: float = 0.0             # tokens currently loaned to running requests
+    items: list = field(default_factory=list)
+
+    @property
+    def available(self) -> float:
+        return max(0.0, self.quota - self.borrowed)
+
+
+@dataclass
+class _Sample:
+    """Recent-request features driving re-clustering and the quota solver."""
+
+    time: float
+    wrs: float
+    token_cost: int
+    est_duration: float
+
+
+class MlqScheduler(Scheduler):
+    """See module docstring."""
+
+    needs_predictions = True
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        registry: AdapterRegistry,
+        cost_model: CostModel,
+        bounds: WorkloadBounds,
+        config: MlqConfig = MlqConfig(),
+    ) -> None:
+        self.model = model
+        self.registry = registry
+        self.cost_model = cost_model
+        self.bounds = bounds
+        self.config = config
+
+        self._samples: deque[_Sample] = deque(maxlen=config.history_size)
+        self._charges: dict[int, tuple[Request, list]] = {}
+        #: Running requests per adapter — an adapter's tokens are charged
+        #: once per *adapter*, not once per request (adapters are shared).
+        self._adapter_active: dict[int, int] = {}
+        self._bypass_pairs: list[tuple[Request, Request]] = []
+        self._total_tokens: Optional[float] = None
+        self._last_refresh: Optional[float] = None
+        self._refresh_count = 0
+        self.bypass_count = 0
+
+        if config.static_k is not None:
+            step = max_possible_wrs(config.wrs_params) / config.static_k
+            uppers = [step * (i + 1) for i in range(config.static_k - 1)] + [float("inf")]
+            self.queues = [_Queue(upper=u) for u in uppers]
+        else:
+            self.queues = [_Queue(upper=float("inf"))]
+
+    # ------------------------------------------------------------------ #
+    # Sizing and classification
+    # ------------------------------------------------------------------ #
+    def _adapter_bytes(self, request: Request) -> Optional[int]:
+        if request.adapter_id is None:
+            return None
+        return self.registry.get(request.adapter_id).size_bytes
+
+    def _request_rank(self, request: Request) -> Optional[int]:
+        if request.adapter_id is None:
+            return None
+        return self.registry.get(request.adapter_id).rank
+
+    def _token_cost(self, request: Request) -> int:
+        """A request's footprint in scheduling tokens (§4.3: input + output
+        tokens plus the adapter's memory translated into tokens)."""
+        predicted = request.predicted_output_tokens or request.output_tokens
+        adapter_tokens = 0
+        adapter_bytes = self._adapter_bytes(request)
+        if adapter_bytes is not None:
+            adapter_tokens = -(-adapter_bytes // self.model.kv_bytes_per_token)
+        return request.input_tokens + predicted + adapter_tokens
+
+    def _effective_cost(self, request: Request) -> int:
+        """Tokens actually charged at admission: the adapter's share is only
+        charged when no running request already holds that adapter (adapter
+        weights are shared; charging them per request would double-count)."""
+        predicted = request.predicted_output_tokens or request.output_tokens
+        cost = request.input_tokens + predicted
+        aid = request.adapter_id
+        if aid is not None and self._adapter_active.get(aid, 0) == 0:
+            adapter_bytes = self.registry.get(aid).size_bytes
+            cost += -(-adapter_bytes // self.model.kv_bytes_per_token)
+        return cost
+
+    def _classify(self, wrs: float) -> _Queue:
+        for queue in self.queues:
+            if wrs < queue.upper:
+                return queue
+        return self.queues[-1]
+
+    def size_class(self, wrs: float) -> int:
+        """Index of the queue a WRS value falls into (0 = smallest)."""
+        return self.queues.index(self._classify(wrs))
+
+    # ------------------------------------------------------------------ #
+    # Scheduler interface
+    # ------------------------------------------------------------------ #
+    def enqueue(self, request: Request, now: float) -> None:
+        predicted = request.predicted_output_tokens
+        if predicted is None:
+            raise RuntimeError("MLQ requires output-length predictions")
+        request.wrs = compute_wrs(
+            request.input_tokens, predicted, self._adapter_bytes(request),
+            self.bounds, self.config.wrs_params,
+        )
+        request.token_cost = self._token_cost(request)
+        est = self.cost_model.estimate_service_time(
+            request.input_tokens, predicted, self._request_rank(request)
+        )
+        self._samples.append(
+            _Sample(time=now, wrs=request.wrs, token_cost=request.token_cost, est_duration=est)
+        )
+        queue = self._classify(request.wrs)
+        request.queue_index = self.queues.index(queue)
+        queue.items.append(request)
+
+    def requeue_front(self, request: Request, now: float) -> None:
+        # A squashed request returns its borrowed tokens (it will be charged
+        # again on re-admission) and releases its adapter-share charge.
+        self._release_charges(request)
+        queue = self._classify(request.wrs if request.wrs is not None else 0.0)
+        request.queue_index = self.queues.index(queue)
+        queue.items.insert(0, request)
+
+    def queued_requests(self) -> Iterable[Request]:
+        return list(itertools.chain.from_iterable(q.items for q in self.queues))
+
+    def queue_len(self) -> int:
+        return sum(len(q.items) for q in self.queues)
+
+    def on_finish(self, request: Request, now: float) -> None:
+        self._release_charges(request)
+
+    def _release_charges(self, request: Request) -> None:
+        entry = self._charges.pop(request.request_id, None)
+        if entry is None:
+            return
+        for queue, amount in entry[1]:
+            queue.borrowed = max(0.0, queue.borrowed - amount)
+        aid = request.adapter_id
+        if aid is not None and self._adapter_active.get(aid, 0) > 0:
+            self._adapter_active[aid] -= 1
+
+    def on_schedule(self, now: float) -> None:
+        if self.config.static_k is not None:
+            return
+        due_first = self._last_refresh is None and len(self._samples) >= self.config.min_samples
+        due_periodic = (
+            self._last_refresh is not None
+            and now - self._last_refresh >= self.config.t_refresh
+            and len(self._samples) >= self.config.min_samples
+        )
+        if due_first or due_periodic:
+            self._refresh(now)
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1
+    # ------------------------------------------------------------------ #
+    def select(self, ctx: AdmissionContext) -> None:
+        if self._total_tokens is None:
+            self._init_quotas(ctx.total_token_capacity, ctx.now)
+        self._check_squash(ctx)
+
+        # Phase 1: every queue admits up to its own available quota;
+        # queues left empty contribute their unused budget to the spare pool.
+        lenders: list[list] = []  # [queue, spare_amount]
+        for queue in self.queues:
+            budget = queue.available
+            # Liveness guard: an idle queue must always be able to admit its
+            # head, even if the head is larger than the assigned quota
+            # (otherwise a quota undershoot would block the lane forever).
+            if queue.items and queue.borrowed == 0:
+                budget = max(budget, float(self._effective_cost(queue.items[0])))
+            consumed = self._put_batch(queue, budget, ctx, lenders=None, home=queue)
+            if not queue.items and budget - consumed > 0:
+                lenders.append([queue, budget - consumed])
+
+        # Phase 2: redistribute spare resources, smallest queue first.
+        if not lenders:
+            return
+        for queue in self.queues:
+            spare = sum(amount for _, amount in lenders)
+            if spare <= 0:
+                break
+            if not queue.items:
+                continue
+            self._put_batch(queue, spare, ctx, lenders=lenders, home=queue)
+
+    def _put_batch(
+        self,
+        queue: _Queue,
+        budget: float,
+        ctx: AdmissionContext,
+        lenders: Optional[list],
+        home: _Queue,
+    ) -> float:
+        """Admit requests from ``queue`` within ``budget`` tokens.
+
+        Phase 1 (``lenders is None``) charges the queue itself; phase 2 draws
+        the tokens from the lender queues' spare budgets.  Mirrors the paper's
+        ``put_batch``: scan in order, stop at the first request that does not
+        fit — except for the opportunistic-bypass case.
+        """
+        consumed = 0.0
+        index = 0
+        while index < len(queue.items):
+            request = queue.items[index]
+            cost = self._effective_cost(request)
+            if cost > budget - consumed:
+                break
+            result = ctx.try_admit(request)
+            if result is AdmitResult.ADMITTED:
+                queue.items.pop(index)
+                self._charge(request, cost, lenders, home)
+                consumed += cost
+                continue
+            if result is AdmitResult.NO_ADAPTER_ROOM and self.config.bypass_enabled:
+                consumed += self._attempt_bypass(
+                    queue, index, budget - consumed, ctx, lenders, home
+                )
+            break
+        return consumed
+
+    def _charge(self, request: Request, cost: float, lenders: Optional[list], home: _Queue) -> None:
+        if request.adapter_id is not None:
+            self._adapter_active[request.adapter_id] = (
+                self._adapter_active.get(request.adapter_id, 0) + 1)
+        charges: list = []
+        if lenders is None:
+            home.borrowed += cost
+            charges.append((home, cost))
+        else:
+            remaining = cost
+            for lender in lenders:
+                if remaining <= 0:
+                    break
+                take = min(lender[1], remaining)
+                if take <= 0:
+                    continue
+                lender[0].borrowed += take
+                lender[1] -= take
+                charges.append((lender[0], take))
+                remaining -= take
+            if remaining > 0:
+                # Spare pool exhausted mid-request; charge the home queue.
+                home.borrowed += remaining
+                charges.append((home, remaining))
+        self._charges[request.request_id] = (request, charges)
+
+    # ------------------------------------------------------------------ #
+    # Opportunistic bypass + squash (§4.3.3)
+    # ------------------------------------------------------------------ #
+    def _attempt_bypass(
+        self,
+        queue: _Queue,
+        blocked_index: int,
+        budget_left: float,
+        ctx: AdmissionContext,
+        lenders: Optional[list],
+        home: _Queue,
+    ) -> float:
+        blocked = queue.items[blocked_index]
+        predicted_wait = ctx.estimate_earliest_release()
+        for j in range(blocked_index + 1, len(queue.items)):
+            candidate = queue.items[j]
+            cost = self._effective_cost(candidate)
+            if cost > budget_left:
+                continue
+            # Bypass is only allowed when the wait for the blocked request's
+            # memory is predicted to outlast the bypasser's whole execution.
+            if ctx.estimate_service_time(candidate) >= predicted_wait:
+                continue
+            if ctx.try_admit(candidate) is AdmitResult.ADMITTED:
+                queue.items.pop(j)
+                self._charge(candidate, cost, lenders, home)
+                self._bypass_pairs.append((blocked, candidate))
+                self.bypass_count += 1
+                return float(cost)
+        return 0.0
+
+    def _check_squash(self, ctx: AdmissionContext) -> None:
+        """Roll back bypassers whose bypass turned out unnecessary."""
+        waiting_states = (RequestState.QUEUED, RequestState.CREATED)
+        still_active: list[tuple[Request, Request]] = []
+        for blocked, bypasser in self._bypass_pairs:
+            if blocked.state not in waiting_states or bypasser.finished:
+                continue
+            if bypasser.state is RequestState.QUEUED:
+                continue  # already squashed or re-queued some other way
+            predicted = blocked.predicted_output_tokens or blocked.output_tokens
+            need = (blocked.input_tokens + predicted) * self.model.kv_bytes_per_token
+            adapter_bytes = self._adapter_bytes(blocked)
+            if adapter_bytes is not None and not ctx.is_adapter_available(blocked):
+                need += adapter_bytes
+            freed = bypasser.kv_reserved_bytes
+            if (
+                bypasser.adapter_id is not None
+                and ctx.adapter_refcount(bypasser.adapter_id) == 1
+            ):
+                freed += self.registry.get(bypasser.adapter_id).size_bytes
+            if ctx.free_bytes + freed >= need:
+                ctx.squash(bypasser)
+            else:
+                still_active.append((blocked, bypasser))
+        self._bypass_pairs = still_active
+
+    # ------------------------------------------------------------------ #
+    # Dynamic reconfiguration (§4.3.4 / §4.3.5)
+    # ------------------------------------------------------------------ #
+    def _init_quotas(self, total_tokens: float, now: float) -> None:
+        self._total_tokens = float(total_tokens) * self.config.token_overcommit
+        if self._last_refresh is not None and self._samples:
+            # A refresh already ran before capacity was known: solve properly.
+            self._assign_quotas(now)
+            return
+        share = self._total_tokens / len(self.queues)
+        for queue in self.queues:
+            queue.quota = share
+
+    def _refresh(self, now: float) -> None:
+        """Re-derive K, the cutoffs and the quotas from recent samples."""
+        self._last_refresh = now
+        self._refresh_count += 1
+        values = [s.wrs for s in self._samples]
+        k = choose_k_elbow(values, self.config.k_max)
+        centroids, _labels = kmeans_1d(values, k)
+        cutoffs = cluster_cutoffs(centroids)
+        uppers = cutoffs + [float("inf")]
+
+        waiting = list(self.queued_requests())
+        old_charges = list(self._charges.values())
+        self.queues = [_Queue(upper=u) for u in uppers]
+        for request in waiting:
+            queue = self._classify(request.wrs if request.wrs is not None else 0.0)
+            request.queue_index = self.queues.index(queue)
+            queue.items.append(request)
+
+        # Carry running requests' borrowed tokens over to the new queues.
+        self._charges = {}
+        for request, charges in old_charges:
+            amount = sum(a for _, a in charges)
+            queue = self._classify(request.wrs if request.wrs is not None else 0.0)
+            queue.borrowed += amount
+            self._charges[request.request_id] = (request, [(queue, amount)])
+
+        if self._total_tokens is not None:
+            self._assign_quotas(now)
+
+    def _assign_quotas(self, now: float) -> None:
+        assert self._total_tokens is not None
+        window = max(1.0, now - self._samples[0].time) if self._samples else 1.0
+        stats = []
+        for queue in self.queues:
+            members = [
+                s for s in self._samples
+                if self._classify(s.wrs) is queue
+            ]
+            if members:
+                stats.append(
+                    QueueStats(
+                        max_request_tokens=max(s.token_cost for s in members),
+                        expected_duration=sum(s.est_duration for s in members) / len(members),
+                        arrival_rate=len(members) / window,
+                    )
+                )
+            else:
+                stats.append(QueueStats(1.0, 0.01, 0.0))
+        quotas = solve_quotas(stats, self._total_tokens, self.config.slo)
+        for queue, quota in zip(self.queues, quotas):
+            queue.quota = quota
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_queues(self) -> int:
+        return len(self.queues)
+
+    @property
+    def refresh_count(self) -> int:
+        return self._refresh_count

@@ -1,0 +1,77 @@
+"""Per-queue resource quotas from M/M/1 queueing theory (§4.3.5).
+
+Each queue q is modelled as an M/M/1 server whose service rate is determined
+by the tokens assigned to it:  mu = Tok / (S * D), where S is the maximum
+request size in the queue (tokens), D the expected processing duration of one
+request, and lambda the queue's arrival rate.  Meeting the SLO
+(T_total = 1/(mu - lambda) <= SLO) requires
+
+    Tok_min >= S * D * (1/SLO + lambda).
+
+Each queue receives its minimum, and the surplus is split proportionally to
+the minima ("their initial weights").  If the minima oversubscribe the total,
+everything is scaled down proportionally — the system is under-provisioned
+and the SLO cannot be guaranteed, but fairness between queues is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Inputs of the quota formula for one queue."""
+
+    #: Maximum request size observed/allowed in the queue, in tokens (S).
+    max_request_tokens: float
+    #: Expected processing duration of one request from the queue, seconds (D).
+    expected_duration: float
+    #: Arrival rate into the queue, requests/second (lambda).
+    arrival_rate: float
+
+    def min_tokens(self, slo: float) -> float:
+        """Tok_min for this queue: S * D * (1/SLO + lambda).
+
+        Floored at S: a quota smaller than one maximum-size request could
+        never admit the queue's head and would deadlock the lane (the paper's
+        formula implicitly assumes Tok >= S since mu = Tok/(S*D) must admit
+        whole requests).
+        """
+        if slo <= 0:
+            raise ValueError(f"SLO must be positive, got {slo}")
+        s = max(1.0, self.max_request_tokens)
+        d = max(1e-6, self.expected_duration)
+        lam = max(0.0, self.arrival_rate)
+        return max(s, s * d * (1.0 / slo + lam))
+
+
+def solve_quotas(
+    stats: Sequence[QueueStats],
+    total_tokens: float,
+    slo: float,
+) -> list[float]:
+    """Assign token quotas to queues per §4.3.5 (see module docstring)."""
+    if not stats:
+        raise ValueError("need at least one queue")
+    if total_tokens <= 0:
+        raise ValueError(f"total_tokens must be positive, got {total_tokens}")
+    minima = [q.min_tokens(slo) for q in stats]
+    need = sum(minima)
+    if need < total_tokens:
+        surplus = total_tokens - need
+        weight_total = sum(minima)
+        return [m + surplus * (m / weight_total) for m in minima]
+    # Under-provisioned: the SLO cannot be guaranteed for every queue.  Keep
+    # each lane live (one max-size request each) if that is feasible, then
+    # split the shortfall proportionally to the excess demand.
+    floors = [max(1.0, q.max_request_tokens) for q in stats]
+    floor_total = sum(floors)
+    if floor_total >= total_tokens:
+        scale = total_tokens / floor_total
+        return [f * scale for f in floors]
+    remaining = total_tokens - floor_total
+    excess = [max(0.0, m - f) for m, f in zip(minima, floors)]
+    excess_total = sum(excess) or 1.0
+    return [f + remaining * (e / excess_total) for f, e in zip(floors, excess)]

@@ -1,0 +1,94 @@
+"""Weighted Request Size (§4.3.1).
+
+The WRS estimates a request's total execution time from the three knobs the
+paper identifies — known input size, predicted output size, and adapter rank:
+
+    WRS = (A * In/MaxIn + B * Out/MaxOut) * (AdapterSize/MaxAdapterSize)
+
+with A = 0.4 and B = 0.6.  The paper notes this degree-2 polynomial beats a
+purely linear combination by up to 10%.  The ``output_only`` mode reproduces
+the §5.4.1 ablation that sizes requests by predicted output alone (µServe
+style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class WrsParams:
+    """Weighting coefficients of the WRS polynomial (§4.3.1)."""
+
+    a_input: float = 0.4
+    b_output: float = 0.6
+    #: Adapter factor used for base-model requests (no adapter).  Chosen as
+    #: the smallest rank's share so base requests sort with the lightest
+    #: adapter class.
+    base_adapter_factor: float = 8.0 / 128.0
+    #: Weight of the adapter term in the ``"linear"`` (degree-1) ablation.
+    c_adapter_linear: float = 0.5
+    #: ``"chameleon"`` (the degree-2 polynomial), ``"linear"`` (the degree-1
+    #: combination §4.3.1 compares against, up to 10% worse), or
+    #: ``"output_only"`` (µServe-style, §5.4.1's ablation).
+    mode: str = "chameleon"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("chameleon", "linear", "output_only"):
+            raise ValueError(f"unknown WRS mode {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class WorkloadBounds:
+    """Normalization maxima for the WRS formula.
+
+    Taken from the trace profile (max input/output tokens) and the adapter
+    registry (max adapter size).
+    """
+
+    max_input_tokens: int
+    max_output_tokens: int
+    max_adapter_bytes: int
+
+    def __post_init__(self) -> None:
+        if min(self.max_input_tokens, self.max_output_tokens, self.max_adapter_bytes) <= 0:
+            raise ValueError("workload bounds must all be positive")
+
+
+def compute_wrs(
+    input_tokens: int,
+    predicted_output_tokens: int,
+    adapter_bytes: Optional[int],
+    bounds: WorkloadBounds,
+    params: WrsParams = WrsParams(),
+) -> float:
+    """Compute the weighted request size of one request.
+
+    Inputs above the bounds are clamped (the predictor can overshoot the
+    profile's max output).
+    """
+    in_frac = min(1.0, input_tokens / bounds.max_input_tokens)
+    out_frac = min(1.0, predicted_output_tokens / bounds.max_output_tokens)
+    if params.mode == "output_only":
+        return out_frac
+    if adapter_bytes is None:
+        adapter_frac = params.base_adapter_factor
+    else:
+        adapter_frac = min(1.0, adapter_bytes / bounds.max_adapter_bytes)
+    length_term = params.a_input * in_frac + params.b_output * out_frac
+    if params.mode == "linear":
+        # Degree-1: simply add the adapter term instead of multiplying.
+        return (length_term + params.c_adapter_linear * adapter_frac) / (
+            1.0 + params.c_adapter_linear)
+    return length_term * adapter_frac
+
+
+def max_possible_wrs(params: WrsParams = WrsParams()) -> float:
+    """Upper bound of the WRS range (used by the static queue config)."""
+    if params.mode == "output_only":
+        return 1.0
+    if params.mode == "linear":
+        return (params.a_input + params.b_output + params.c_adapter_linear) / (
+            1.0 + params.c_adapter_linear)
+    return params.a_input + params.b_output

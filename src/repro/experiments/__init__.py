@@ -1,0 +1,19 @@
+"""Per-figure reproduction harness.
+
+Every module ``figXX_*`` reproduces one figure of the paper's evaluation and
+exposes ``run(**params) -> ExperimentResult``.  The registry maps experiment
+ids (``fig02`` ... ``fig25``) to those entry points; ``python -m repro.cli``
+runs them from the command line and ``benchmarks/`` wraps them under
+pytest-benchmark.
+"""
+
+from repro.experiments.common import ExperimentResult, Row
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = [
+    "ExperimentResult",
+    "Row",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+]

@@ -1,0 +1,45 @@
+"""Figure 5: adapter-loading share of TTFT for Llama-70B under tensor
+parallelism.
+
+A single request on an idle TP group of A100s: the loading fraction grows
+with both TP degree (per-shard transfer + sync overheads) and adapter rank
+(larger weights).  The paper reports e.g. ~68% for rank 32 at TP4.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Row
+from repro.hardware.cluster import TensorParallelGroup
+from repro.hardware.gpu import A100_80GB
+from repro.hardware.pcie import PcieLink, PcieSpec
+from repro.llm.costmodel import CostModel
+from repro.llm.model import LLAMA_70B
+from repro.sim.simulator import Simulator
+
+
+def run(
+    tp_degrees=(2, 4, 8),
+    ranks=(8, 16, 32, 64, 128),
+    input_tokens: int = 512,
+) -> ExperimentResult:
+    link = PcieLink(Simulator(), PcieSpec())
+    rows = []
+    for rank in ranks:
+        row = Row(rank=rank)
+        adapter_bytes = LLAMA_70B.adapter_bytes(rank)
+        for tp in tp_degrees:
+            group = TensorParallelGroup(A100_80GB, tp)
+            cost_model = CostModel(LLAMA_70B, A100_80GB,
+                                   compute_speedup=group.compute_speedup)
+            load = group.adapter_load_time(link, adapter_bytes)
+            compute = cost_model.prefill_time(input_tokens, rank)
+            row[f"load_share_tp{tp}"] = load / (load + compute)
+        rows.append(row)
+    return ExperimentResult(
+        experiment="fig05",
+        description="Adapter-loading share of TTFT, Llama-70B on TP A100s",
+        rows=rows,
+        params={"tp_degrees": list(tp_degrees), "ranks": list(ranks),
+                "input_tokens": input_tokens},
+        notes=["share grows with both TP degree and rank (paper Figure 5)"],
+    )

@@ -1,0 +1,72 @@
+"""Figure 11: P99 TTFT vs load for S-LoRA, ChNoCache, ChNoSched, Chameleon.
+
+The headline experiment: the load sweep whose SLO crossings define each
+system's throughput.  The paper reports Chameleon sustaining ~1.5x S-LoRA's
+load (12.9 vs 8.6 RPS on their testbed) with 80.7% lower P99 TTFT at 9 RPS,
+and the ablations ordering ChNoCache (~1.05x) < ChNoSched (~1.2x) < full.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Row,
+    run_preset,
+    standard_registry,
+    standard_trace,
+    trace_slo,
+)
+from repro.metrics.summary import throughput_under_slo
+
+SYSTEMS = ("slora", "chameleon_nocache", "chameleon_nosched", "chameleon")
+
+
+def run(
+    loads=(5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0),
+    duration: float = 300.0,
+    warmup: float = 20.0,
+    seed: int = 1,
+    n_seeds: int = 2,
+    systems=SYSTEMS,
+) -> ExperimentResult:
+    """``n_seeds`` traces are averaged per load point to smooth the curves
+    (the paper averages over a 2000 s production trace; our shorter synthetic
+    traces need replication to tame burst-alignment noise)."""
+    registry = standard_registry()
+    per_system: dict[str, list[tuple[float, float]]] = {s: [] for s in systems}
+    slo = None
+    rows = []
+    for rps in loads:
+        samples: dict[str, list[float]] = {s: [] for s in systems}
+        for k in range(n_seeds):
+            trace = standard_trace(rps, duration, registry, seed=seed + k)
+            if slo is None:
+                slo = trace_slo(trace, registry)
+            for preset in systems:
+                _, summary = run_preset(preset, trace, registry,
+                                        warmup=warmup, slo=slo)
+                samples[preset].append(summary.p99_ttft)
+        row = Row(rps=rps, slo_s=slo)
+        for preset in systems:
+            mean_p99 = sum(samples[preset]) / len(samples[preset])
+            row[f"{preset}_p99_s"] = mean_p99
+            per_system[preset].append((rps, mean_p99))
+        rows.append(row)
+
+    notes = []
+    throughputs = {}
+    for preset in systems:
+        pts = per_system[preset]
+        throughput = throughput_under_slo([p[0] for p in pts], [p[1] for p in pts], slo)
+        throughputs[preset] = throughput
+        notes.append(f"throughput under SLO ({preset}): {throughput:.2f} RPS")
+    if throughputs.get("slora"):
+        ratio = throughputs.get("chameleon", 0.0) / throughputs["slora"]
+        notes.append(f"Chameleon/S-LoRA throughput ratio: {ratio:.2f}x (paper: 1.5x)")
+    return ExperimentResult(
+        experiment="fig11",
+        description="P99 TTFT vs load; SLO crossings give throughput",
+        rows=rows,
+        params={"loads": list(loads), "duration": duration, "systems": list(systems)},
+        notes=notes,
+    )

@@ -1,0 +1,73 @@
+"""Figure 23: scalability with base-model size (Llama-7B/13B/30B).
+
+On an 80 GB A100 with the paper's §5.5 pool sizes (500/100/10 adapters for
+7B/13B/30B), normalized P99 TTFT (left) and throughput (right) of Chameleon
+over S-LoRA at low/medium/high load.  The paper: ~60% P99 reduction for all
+models; 1.86x/1.41x/1.67x throughput.
+"""
+
+from __future__ import annotations
+
+from repro.adapters.registry import AdapterRegistry
+from repro.experiments.common import ExperimentResult, Row, run_preset, standard_trace, trace_slo
+from repro.hardware.gpu import A100_80GB
+from repro.llm.model import LLAMA_7B, LLAMA_13B, LLAMA_30B
+from repro.metrics.summary import throughput_under_slo
+
+#: §5.5: adapters per model, sized to the memory left over by the weights.
+MODEL_POOLS = ((LLAMA_7B, 500), (LLAMA_13B, 100), (LLAMA_30B, 10))
+
+
+def run(
+    duration: float = 200.0,
+    warmup: float = 20.0,
+    seed: int = 1,
+    load_grid=None,
+) -> ExperimentResult:
+    rows = []
+    for model, n_adapters in MODEL_POOLS:
+        # Load points scale down with model size (bigger models saturate
+        # earlier); the grid is also the throughput-search grid.
+        if load_grid is not None:
+            loads = load_grid
+        elif model is LLAMA_7B:
+            loads = (3.0, 6.0, 9.0, 12.0)
+        elif model is LLAMA_13B:
+            loads = (3.0, 5.0, 7.0, 9.0)
+        else:
+            loads = (2.0, 3.5, 5.0, 6.5)
+        registry = AdapterRegistry.build(model, n_adapters)
+        slo = None
+        p99 = {"slora": [], "chameleon": []}
+        for rps in loads:
+            trace = standard_trace(rps, duration, registry, seed=seed)
+            if slo is None:
+                slo = trace_slo(trace, registry, model=model, gpu=A100_80GB)
+            for preset in ("slora", "chameleon"):
+                _, summary = run_preset(preset, trace, registry, warmup=warmup,
+                                        slo=slo, model=model, gpu=A100_80GB)
+                p99[preset].append(summary.p99_ttft)
+        tp = {
+            preset: throughput_under_slo(list(loads), p99[preset], slo)
+            for preset in ("slora", "chameleon")
+        }
+        for i, load_name in enumerate(("low", "medium", "high")):
+            if i >= len(loads):
+                break
+            rows.append(Row(
+                model=model.name, load=load_name, rps=loads[i],
+                slora_p99_s=p99["slora"][i],
+                chameleon_p99_s=p99["chameleon"][i],
+                norm_p99=(p99["chameleon"][i] / p99["slora"][i]
+                          if p99["slora"][i] else float("nan")),
+                throughput_ratio=(tp["chameleon"] / tp["slora"]
+                                  if tp["slora"] else float("nan")),
+            ))
+    return ExperimentResult(
+        experiment="fig23",
+        description="Scalability with model size (A100-80GB; 500/100/10 adapters)",
+        rows=rows,
+        params={"duration": duration},
+        notes=["paper: ~60% P99 reduction for 7B/13B/30B; throughput "
+               "1.86x/1.41x/1.67x"],
+    )

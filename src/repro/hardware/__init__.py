@@ -1,0 +1,30 @@
+"""Hardware substrates: GPU memory accountant, PCIe link, multi-GPU groups."""
+
+from repro.hardware.gpu import (
+    GpuSpec,
+    GpuDevice,
+    MemoryExhausted,
+    A40_48GB,
+    A100_80GB,
+    A100_48GB,
+    A100_24GB,
+    GPU_ZOO,
+)
+from repro.hardware.pcie import PcieLink, PcieSpec, Transfer
+from repro.hardware.cluster import TensorParallelGroup, DataParallelCluster
+
+__all__ = [
+    "GpuSpec",
+    "GpuDevice",
+    "MemoryExhausted",
+    "A40_48GB",
+    "A100_80GB",
+    "A100_48GB",
+    "A100_24GB",
+    "GPU_ZOO",
+    "PcieLink",
+    "PcieSpec",
+    "Transfer",
+    "TensorParallelGroup",
+    "DataParallelCluster",
+]

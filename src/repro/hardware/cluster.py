@@ -1,0 +1,127 @@
+"""Multi-GPU organizations: tensor parallelism and data parallelism.
+
+Tensor parallelism (TP) is modelled as one logical device whose memory is the
+sum of the member GPUs and whose compute scales by the TP degree times a
+sub-linear efficiency factor.  Adapter loads become sharded transfers with a
+per-shard synchronization overhead, which is what makes loading a *bigger*
+fraction of TTFT as TP grows (paper Figure 5).
+
+Data parallelism (DP) is a set of independent engines behind a two-level
+scheduler (§4.4): a global dispatcher routes each request to one engine, and
+each engine keeps its own local scheduler and adapter cache (the paper
+replicates the cache across DP engines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.hardware.gpu import GpuDevice, GpuSpec
+from repro.hardware.pcie import PcieLink, Transfer
+
+
+#: Parallel efficiency of tensor-parallel compute (all-reduce overheads make
+#: TP-N less than N-times faster; 0.82 matches common Megatron-style scaling).
+TP_COMPUTE_EFFICIENCY = 0.82
+
+#: Extra per-shard synchronization cost of a TP-sharded adapter load, seconds.
+#: Calibrated against paper Figure 5 (loading = 68% of TTFT for rank 32 at
+#: TP4 on Llama-70B): partitioning, per-GPU dispatch and synchronization
+#: dominate the raw copy for sharded loads.
+TP_SHARD_SYNC_OVERHEAD = 30e-3
+
+
+class TensorParallelGroup(GpuDevice):
+    """N GPUs executing one model replica with tensor parallelism.
+
+    The group behaves like one big :class:`GpuDevice` (weights, KV and
+    adapters are all sharded evenly, so aggregate byte accounting is exact)
+    plus TP-aware compute scaling and sharded adapter transfers.
+    """
+
+    def __init__(self, spec: GpuSpec, tp_degree: int,
+                 sync_overhead: float = TP_SHARD_SYNC_OVERHEAD,
+                 compute_efficiency: float = TP_COMPUTE_EFFICIENCY) -> None:
+        if tp_degree < 1:
+            raise ValueError(f"tp_degree must be >= 1, got {tp_degree}")
+        super().__init__(spec, memory_bytes=spec.memory_bytes * tp_degree)
+        self.tp_degree = tp_degree
+        self.sync_overhead = sync_overhead
+        self.compute_efficiency = compute_efficiency
+
+    @property
+    def compute_speedup(self) -> float:
+        """Effective compute speed relative to a single GPU."""
+        if self.tp_degree == 1:
+            return 1.0
+        return self.tp_degree * self.compute_efficiency
+
+    def submit_adapter_load(
+        self,
+        link: PcieLink,
+        nbytes: int,
+        callback: Optional[Callable[[Transfer], None]] = None,
+        tag: str = "",
+    ) -> Transfer:
+        """Load an adapter, sharded across the group's GPUs."""
+        if self.tp_degree == 1:
+            return link.submit(nbytes, callback=callback, tag=tag)
+        return link.submit_sharded(
+            nbytes, shards=self.tp_degree,
+            per_shard_overhead=self.sync_overhead,
+            callback=callback, tag=tag,
+        )
+
+    def adapter_load_time(self, link: PcieLink, nbytes: int) -> float:
+        """Unloaded service time of a (possibly sharded) adapter load."""
+        if self.tp_degree == 1:
+            return link.transfer_time(nbytes)
+        per_shard = self.sync_overhead + link.spec.setup_latency
+        return link.transfer_time(nbytes) + self.tp_degree * per_shard
+
+
+class DataParallelCluster:
+    """A set of independent engines behind a global dispatcher.
+
+    The dispatcher implements the two-level scheduling of §4.4.  Policies:
+
+    * ``"least_loaded"`` — join the engine with the fewest in-flight requests
+      (running + queued), the classic JSQ heuristic.
+    * ``"round_robin"`` — cyclic assignment.
+    * ``"adapter_affinity"`` — prefer the least-loaded engine among those that
+      already have the request's adapter resident (falls back to JSQ); this
+      exploits the per-engine adapter caches.
+    """
+
+    POLICIES = ("least_loaded", "round_robin", "adapter_affinity")
+
+    def __init__(self, engines: Sequence, policy: str = "least_loaded") -> None:
+        if not engines:
+            raise ValueError("cluster needs at least one engine")
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown dispatch policy {policy!r}; pick from {self.POLICIES}")
+        self.engines = list(engines)
+        self.policy = policy
+        self._rr_next = 0
+
+    def dispatch(self, request) -> int:
+        """Pick an engine index for ``request`` and submit it there."""
+        idx = self._pick(request)
+        self.engines[idx].submit(request)
+        return idx
+
+    def _pick(self, request) -> int:
+        if self.policy == "round_robin":
+            idx = self._rr_next
+            self._rr_next = (self._rr_next + 1) % len(self.engines)
+            return idx
+        loads = [engine.in_flight_count() for engine in self.engines]
+        if self.policy == "adapter_affinity" and request.adapter_id is not None:
+            resident = [
+                i for i, engine in enumerate(self.engines)
+                if engine.adapter_manager.is_resident(request.adapter_id)
+            ]
+            if resident:
+                return min(resident, key=lambda i: loads[i])
+        return min(range(len(self.engines)), key=lambda i: loads[i])

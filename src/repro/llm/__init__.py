@@ -1,0 +1,22 @@
+"""Base LLM geometry and the calibrated latency cost model."""
+
+from repro.llm.model import (
+    ModelSpec,
+    LLAMA_7B,
+    LLAMA_13B,
+    LLAMA_30B,
+    LLAMA_70B,
+    MODEL_ZOO,
+)
+from repro.llm.costmodel import CostModel, CostModelParams
+
+__all__ = [
+    "ModelSpec",
+    "LLAMA_7B",
+    "LLAMA_13B",
+    "LLAMA_30B",
+    "LLAMA_70B",
+    "MODEL_ZOO",
+    "CostModel",
+    "CostModelParams",
+]

@@ -1,0 +1,78 @@
+"""Base-model geometry.
+
+The byte-level quantities used everywhere in the simulator (weight footprint,
+KV-cache bytes per token, LoRA adapter bytes per rank) are derived from the
+transformer geometry of the Llama family, in fp16:
+
+* weights:            ``2 bytes * n_params``
+* KV cache per token: ``2 (K and V) * n_layers * hidden_size * 2 bytes``
+* LoRA adapter:       ``2 (A and B matrices) * hidden * rank * n_lora_proj
+                      * n_layers * 2 bytes``
+
+With ``n_lora_proj = 4`` (q/k/v/o projections, the S-LoRA default) a rank-32
+adapter for Llama-7B is exactly 64 MB — the number quoted in §3.2 of the
+paper — and the Llama-70B rank-32 adapter lands at 320 MB (paper: "grows to
+256 MB", same order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MB = 1024 * 1024
+GB = 1024 * MB
+FP16_BYTES = 2
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Geometry of a base LLM.
+
+    Attributes:
+        name: Human-readable name, e.g. ``"llama-7b"``.
+        n_params: Total parameter count of the base model.
+        n_layers: Number of transformer layers.
+        hidden_size: Model (embedding) dimension.
+        n_lora_proj: Number of attention projections a LoRA adapter touches.
+        dtype_bytes: Bytes per parameter / activation element (fp16 = 2).
+    """
+
+    name: str
+    n_params: int
+    n_layers: int
+    hidden_size: int
+    n_lora_proj: int = 4
+    dtype_bytes: int = FP16_BYTES
+
+    @property
+    def weight_bytes(self) -> int:
+        """GPU bytes occupied by the base-model weights."""
+        return self.n_params * self.dtype_bytes
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        """Bytes of KV cache one token occupies across all layers."""
+        return 2 * self.n_layers * self.hidden_size * self.dtype_bytes
+
+    def adapter_bytes(self, rank: int) -> int:
+        """Bytes occupied by a LoRA adapter of the given rank."""
+        if rank <= 0:
+            raise ValueError(f"adapter rank must be positive, got {rank}")
+        return (
+            2 * self.hidden_size * rank * self.n_lora_proj
+            * self.n_layers * self.dtype_bytes
+        )
+
+    def flops_per_token(self) -> float:
+        """Dense forward FLOPs per token (the standard 2*N approximation)."""
+        return 2.0 * self.n_params
+
+
+LLAMA_7B = ModelSpec(name="llama-7b", n_params=6_738_000_000, n_layers=32, hidden_size=4096)
+LLAMA_13B = ModelSpec(name="llama-13b", n_params=13_016_000_000, n_layers=40, hidden_size=5120)
+LLAMA_30B = ModelSpec(name="llama-30b", n_params=32_529_000_000, n_layers=60, hidden_size=6656)
+LLAMA_70B = ModelSpec(name="llama-70b", n_params=68_977_000_000, n_layers=80, hidden_size=8192)
+
+MODEL_ZOO: dict[str, ModelSpec] = {
+    spec.name: spec for spec in (LLAMA_7B, LLAMA_13B, LLAMA_30B, LLAMA_70B)
+}

@@ -1,0 +1,23 @@
+"""Metrics: per-request summaries, percentiles, slowdown, SLO attainment."""
+
+from repro.metrics.summary import (
+    percentile,
+    RunSummary,
+    summarize_run,
+    windowed_p99_ttft,
+    cdf_points,
+    slowdowns,
+    throughput_under_slo,
+    compute_slo,
+)
+
+__all__ = [
+    "percentile",
+    "RunSummary",
+    "summarize_run",
+    "windowed_p99_ttft",
+    "cdf_points",
+    "slowdowns",
+    "throughput_under_slo",
+    "compute_slo",
+]

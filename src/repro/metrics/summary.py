@@ -1,0 +1,184 @@
+"""Latency summaries over finished requests.
+
+Implements every metric the paper reports: TTFT (P50/P99), TBT (P99 over
+inter-token gaps), E2E latency, per-request slowdown vs. isolated execution
+(Figure 8), windowed P99-over-time series (Figures 15/19), SLO attainment and
+throughput-under-SLO (the load where the P99-TTFT curve crosses the SLO,
+which yields the paper's 1.5x headline from Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.llm.costmodel import CostModel
+from repro.workload.request import Request
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (q in [0, 100]); NaN for an empty input."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.percentile(arr, q))
+
+
+@dataclass
+class RunSummary:
+    """Aggregate statistics of one simulation run."""
+
+    n_requests: int
+    p50_ttft: float
+    p99_ttft: float
+    mean_ttft: float
+    p50_e2e: float
+    p99_e2e: float
+    p99_tbt: float
+    mean_queueing_delay: float
+    completed_rps: float
+    slo_ttft: Optional[float] = None
+    slo_attainment: Optional[float] = None
+    extra: dict = field(default_factory=dict)
+
+    def meets_slo(self) -> Optional[bool]:
+        if self.slo_ttft is None:
+            return None
+        return bool(self.p99_ttft <= self.slo_ttft)
+
+
+def finished_only(requests: Sequence[Request]) -> list[Request]:
+    return [r for r in requests if r.finished]
+
+
+def summarize_run(
+    requests: Sequence[Request],
+    duration: Optional[float] = None,
+    slo_ttft: Optional[float] = None,
+    warmup: float = 0.0,
+) -> RunSummary:
+    """Summarize a run; requests arriving before ``warmup`` are excluded."""
+    done = [r for r in finished_only(requests) if r.arrival_time >= warmup]
+    if not done:
+        nan = float("nan")
+        return RunSummary(0, nan, nan, nan, nan, nan, nan, nan, 0.0, slo_ttft, None)
+    ttfts = [r.ttft for r in done]
+    e2es = [r.e2e_latency for r in done]
+    gaps: list[float] = []
+    for r in done:
+        gaps.extend(r.token_gaps())
+    qdelays = [r.queueing_delay for r in done if r.admit_time is not None]
+    span = duration if duration is not None else max(r.finish_time for r in done)
+    attainment = None
+    if slo_ttft is not None:
+        attainment = float(np.mean([t <= slo_ttft for t in ttfts]))
+    return RunSummary(
+        n_requests=len(done),
+        p50_ttft=percentile(ttfts, 50),
+        p99_ttft=percentile(ttfts, 99),
+        mean_ttft=float(np.mean(ttfts)),
+        p50_e2e=percentile(e2es, 50),
+        p99_e2e=percentile(e2es, 99),
+        p99_tbt=percentile(gaps, 99),
+        mean_queueing_delay=float(np.mean(qdelays)) if qdelays else float("nan"),
+        completed_rps=len(done) / span if span > 0 else 0.0,
+        slo_ttft=slo_ttft,
+        slo_attainment=attainment,
+    )
+
+
+def windowed_p99_ttft(
+    requests: Sequence[Request],
+    window: float,
+    horizon: float,
+) -> list[tuple[float, float]]:
+    """(window_end, P99 TTFT of requests arriving in the window) series."""
+    done = finished_only(requests)
+    n_bins = max(1, int(np.ceil(horizon / window)))
+    bins: list[list[float]] = [[] for _ in range(n_bins)]
+    for r in done:
+        idx = min(int(r.arrival_time / window), n_bins - 1)
+        bins[idx].append(r.ttft)
+    return [
+        ((i + 1) * window, percentile(vals, 99))
+        for i, vals in enumerate(bins)
+        if vals
+    ]
+
+
+def cdf_points(values: Sequence[float]) -> list[tuple[float, float]]:
+    """Sorted (value, cumulative probability) pairs for CDF plots."""
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        return []
+    probs = np.arange(1, arr.size + 1) / arr.size
+    return list(zip(arr.tolist(), probs.tolist()))
+
+
+def slowdowns(
+    requests: Sequence[Request],
+    cost_model: CostModel,
+    rank_of: Callable[[Request], Optional[int]],
+    load_time_of: Callable[[Request], float],
+) -> list[float]:
+    """Per-request slowdown: observed E2E over isolated E2E (Figure 8)."""
+    out = []
+    for r in finished_only(requests):
+        isolated = cost_model.isolated_request_time(
+            r.input_tokens, r.output_tokens, rank_of(r), load_time_of(r)
+        )
+        out.append(r.e2e_latency / isolated)
+    return out
+
+
+def compute_slo(
+    requests: Sequence[Request],
+    cost_model: CostModel,
+    rank_of: Callable[[Request], Optional[int]],
+    load_time_of: Callable[[Request], float],
+    multiplier: float = 5.0,
+    sample_cap: int = 512,
+) -> float:
+    """The paper's SLO: ``multiplier`` x average isolated execution time (§5.1)."""
+    sample = list(requests)[:sample_cap]
+    if not sample:
+        raise ValueError("cannot compute an SLO from an empty trace")
+    isolated = [
+        cost_model.isolated_request_time(
+            r.input_tokens, r.output_tokens, rank_of(r), load_time_of(r)
+        )
+        for r in sample
+    ]
+    return multiplier * float(np.mean(isolated))
+
+
+def throughput_under_slo(
+    loads: Sequence[float],
+    p99_ttfts: Sequence[float],
+    slo: float,
+) -> float:
+    """Max sustainable load: where the P99-TTFT curve crosses the SLO.
+
+    Linearly interpolates between the last compliant and the first violating
+    load, matching how the paper reads throughput off Figure 11.  Returns the
+    highest measured load if the SLO is never violated, and 0 if even the
+    lowest load violates it.
+    """
+    if len(loads) != len(p99_ttfts) or not loads:
+        raise ValueError("loads and p99_ttfts must be equal-length, non-empty")
+    pairs = sorted(zip(loads, p99_ttfts))
+    prev_load, prev_lat = None, None
+    for load, lat in pairs:
+        if np.isnan(lat):
+            continue
+        if lat > slo:
+            if prev_load is None:
+                return 0.0
+            if lat == prev_lat:
+                return prev_load
+            frac = (slo - prev_lat) / (lat - prev_lat)
+            return prev_load + frac * (load - prev_load)
+        prev_load, prev_lat = load, lat
+    return pairs[-1][0] if prev_load is not None else 0.0

@@ -1,0 +1,110 @@
+"""Windowed time-series metrics: throughput, goodput, batch occupancy.
+
+Complements the percentile summaries with the over-time views used in the
+timeline figures and in capacity diagnostics: how many requests complete per
+window, how many of them met the SLO (goodput), and how full the continuous
+batch ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.workload.request import Request
+
+
+@dataclass(frozen=True)
+class WindowPoint:
+    """One time-window's aggregate."""
+
+    window_end: float
+    value: float
+
+
+def windowed_throughput(
+    requests: Sequence[Request],
+    window: float,
+    horizon: float,
+) -> list[WindowPoint]:
+    """Completed requests per second, per window (by completion time)."""
+    if window <= 0 or horizon <= 0:
+        raise ValueError("window and horizon must be positive")
+    n_bins = max(1, int(np.ceil(horizon / window)))
+    counts = np.zeros(n_bins)
+    for request in requests:
+        if request.finish_time is None:
+            continue
+        idx = min(int(request.finish_time / window), n_bins - 1)
+        counts[idx] += 1
+    return [
+        WindowPoint(window_end=(i + 1) * window, value=counts[i] / window)
+        for i in range(n_bins)
+    ]
+
+
+def windowed_goodput(
+    requests: Sequence[Request],
+    window: float,
+    horizon: float,
+    slo_ttft: float,
+) -> list[WindowPoint]:
+    """SLO-compliant completions per second, per window."""
+    if slo_ttft <= 0:
+        raise ValueError("slo_ttft must be positive")
+    n_bins = max(1, int(np.ceil(horizon / window)))
+    counts = np.zeros(n_bins)
+    for request in requests:
+        if request.finish_time is None or request.first_token_time is None:
+            continue
+        if request.ttft > slo_ttft:
+            continue
+        idx = min(int(request.finish_time / window), n_bins - 1)
+        counts[idx] += 1
+    return [
+        WindowPoint(window_end=(i + 1) * window, value=counts[i] / window)
+        for i in range(n_bins)
+    ]
+
+
+def batch_occupancy_series(
+    samples: Sequence[tuple[float, int]],
+    window: float,
+    horizon: float,
+) -> list[WindowPoint]:
+    """Mean batch size per window, from the engine's occupancy samples.
+
+    Enable recording with ``EngineConfig.record_batch_occupancy``; the engine
+    then appends ``(time, batch_size)`` to ``engine.batch_occupancy`` at each
+    iteration start.
+    """
+    n_bins = max(1, int(np.ceil(horizon / window)))
+    sums = np.zeros(n_bins)
+    counts = np.zeros(n_bins)
+    for time, size in samples:
+        idx = min(int(time / window), n_bins - 1)
+        sums[idx] += size
+        counts[idx] += 1
+    return [
+        WindowPoint(window_end=(i + 1) * window,
+                    value=(sums[i] / counts[i]) if counts[i] else 0.0)
+        for i in range(n_bins)
+    ]
+
+
+def peak_concurrency(requests: Sequence[Request]) -> int:
+    """Maximum number of simultaneously-admitted requests over a run."""
+    events: list[tuple[float, int]] = []
+    for request in requests:
+        if request.admit_time is None or request.finish_time is None:
+            continue
+        events.append((request.admit_time, +1))
+        events.append((request.finish_time, -1))
+    events.sort()
+    peak = current = 0
+    for _, delta in events:
+        current += delta
+        peak = max(peak, current)
+    return peak

@@ -1,0 +1,6 @@
+"""Predictors: output-length proxy models and histogram load forecaster."""
+
+from repro.predictor.output_length import BucketPredictor, OutputLengthPredictor
+from repro.predictor.load_forecast import HistogramLoadPredictor
+
+__all__ = ["OutputLengthPredictor", "BucketPredictor", "HistogramLoadPredictor"]

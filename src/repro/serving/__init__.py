@@ -1,0 +1,31 @@
+"""The serving system: engine, schedulers, adapter managers, presets."""
+
+from repro.serving.admission import AdmitResult, AdmissionContext
+from repro.serving.schedulers import (
+    Scheduler,
+    FifoScheduler,
+    SjfScheduler,
+)
+from repro.serving.adapter_manager import (
+    AdapterState,
+    AdapterEntry,
+    AdapterManagerBase,
+    SloraAdapterManager,
+)
+from repro.serving.engine import EngineConfig, ServingEngine
+from repro.serving.replica import MultiReplicaSystem
+
+__all__ = [
+    "MultiReplicaSystem",
+    "AdmitResult",
+    "AdmissionContext",
+    "Scheduler",
+    "FifoScheduler",
+    "SjfScheduler",
+    "AdapterState",
+    "AdapterEntry",
+    "AdapterManagerBase",
+    "SloraAdapterManager",
+    "EngineConfig",
+    "ServingEngine",
+]

@@ -1,0 +1,84 @@
+"""Admission results and the context schedulers use to build a batch.
+
+Keeping all memory/adapter admission logic behind one ``try_admit`` call lets
+every scheduling policy (FIFO, SJF, MLQ) share identical resource semantics —
+the policies differ only in *which* requests they offer and in what order.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.serving.engine import ServingEngine
+    from repro.workload.request import Request
+
+
+class AdmitResult(enum.Enum):
+    """Outcome of one admission attempt."""
+
+    ADMITTED = "admitted"
+    #: The running batch is at its configured size cap.
+    BATCH_FULL = "batch_full"
+    #: Not enough GPU memory for the request's KV cache, even after evicting
+    #: every idle cached adapter.
+    NO_MEMORY = "no_memory"
+    #: KV would fit, but the request's (missing) adapter does not — even after
+    #: evicting all idle cached adapters.  This is the §4.3.3 bypass trigger.
+    NO_ADAPTER_ROOM = "no_adapter_room"
+
+
+class AdmissionContext:
+    """One scheduling round's view of the engine.
+
+    Schedulers call :meth:`try_admit` for each candidate in their preferred
+    order; a successful call reserves resources immediately, so a later
+    failure in the same round reflects what the earlier admissions consumed.
+    """
+
+    def __init__(self, engine: "ServingEngine") -> None:
+        self._engine = engine
+        self.admitted: list = []
+
+    @property
+    def now(self) -> float:
+        return self._engine.sim.now
+
+    @property
+    def free_bytes(self) -> int:
+        return self._engine.gpu.free_bytes
+
+    @property
+    def total_token_capacity(self) -> int:
+        """System-wide scheduling tokens (for MLQ quota accounting)."""
+        return self._engine.total_token_capacity
+
+    def try_admit(self, request: "Request") -> AdmitResult:
+        """Attempt to admit ``request`` to the batch right now."""
+        result = self._engine.admit(request)
+        if result is AdmitResult.ADMITTED:
+            self.admitted.append(request)
+        return result
+
+    def is_adapter_available(self, request: "Request") -> bool:
+        """True if the request's adapter is resident or in flight (no new load needed)."""
+        if request.adapter_id is None:
+            return True
+        mgr = self._engine.adapter_manager
+        return mgr.is_resident(request.adapter_id) or mgr.is_loading(request.adapter_id)
+
+    def estimate_service_time(self, request: "Request") -> float:
+        """Predicted service time of a request (scheduler-visible knowledge only)."""
+        return self._engine.estimate_service_time(request)
+
+    def estimate_earliest_release(self) -> float:
+        """Predicted seconds until the next running request frees its memory."""
+        return self._engine.estimate_earliest_release()
+
+    def adapter_refcount(self, adapter_id: int) -> int:
+        return self._engine.adapter_manager.refcount(adapter_id)
+
+    def squash(self, request: "Request") -> None:
+        """Abort an in-flight request for later re-execution (§4.3.3)."""
+        self._engine.squash(request)

@@ -1,0 +1,458 @@
+"""The continuous-batching serving engine.
+
+One engine owns one model replica: a GPU (or TP group), a host link, an
+adapter manager and a scheduling policy.  It implements iteration-level
+scheduling exactly as §2 describes: on every iteration the batch is updated —
+finished requests leave, the policy admits new ones — and the iteration's
+latency is computed by the calibrated cost model from the batch composition
+(prefill work + decode step).
+
+Key behaviours reproduced from the paper:
+
+* Admission reserves KV-cache memory; the Cache Manager is asked to evict
+  idle adapters when the reservation does not fit (§4.2.1 "dynamic cache
+  sizing" — the cache shrinks exactly when serving state needs bytes).
+* An admitted request whose adapter is still in flight waits in a
+  ``pending_load`` set; the transfer time it waits is the *adapter loading
+  latency on the critical path* (Figure 14).
+* Optional chunked prefill (Sarathi-style): a per-iteration prefill-token
+  budget, with decode always included (the Figure 8 "Chunk-Prefill" baseline).
+* Opportunistic-bypass squashing (§4.3.3): the scheduler may remove a
+  running request, rolling back all progress, to re-admit a bypassed one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.adapters.registry import AdapterRegistry
+from repro.hardware.gpu import GB, GpuDevice
+from repro.hardware.pcie import PcieLink
+from repro.llm.costmodel import CostModel
+from repro.llm.model import ModelSpec
+from repro.metrics.summary import RunSummary, summarize_run
+from repro.predictor.output_length import OutputLengthPredictor
+from repro.serving.admission import AdmissionContext, AdmitResult
+from repro.serving.adapter_manager import AdapterManagerBase, AdapterState
+from repro.serving.schedulers import Scheduler
+from repro.sim.simulator import Simulator
+from repro.workload.request import Request, RequestState
+
+
+@dataclass
+class EngineConfig:
+    """Engine-level knobs (shared by every system variant)."""
+
+    #: Cap on concurrently-admitted requests (running + waiting on adapters).
+    #: High enough that GPU memory — translated into scheduling tokens — is
+    #: the binding resource, as in the paper's testbed.
+    max_batch_size: int = 256
+    #: Per-iteration prefill token budget with request *splitting* (Sarathi
+    #: chunked prefill); ``None`` disables splitting.  When set, it replaces
+    #: ``prefill_token_budget`` as the iteration budget.
+    chunk_size: Optional[int] = None
+    #: Per-iteration cap on *whole-request* prefill tokens (vLLM/S-LoRA's
+    #: ``max_num_batched_tokens``).  Requests past the budget stay admitted
+    #: but start prefill in a later iteration, in batch order — this is what
+    #: makes admission order matter and produces FIFO's head-of-line
+    #: blocking.  An oversized request runs alone.
+    prefill_token_budget: int = 4096
+    #: Memory set aside for activations/workspace, never usable by KV or cache.
+    activation_reserve_bytes: int = 1 * GB
+    #: Interval of GPU-memory telemetry samples; ``None`` disables sampling.
+    memory_telemetry_interval: Optional[float] = None
+    #: Record ``(time, batch_size)`` at each iteration start into
+    #: ``engine.batch_occupancy`` (for time-series diagnostics).
+    record_batch_occupancy: bool = False
+    #: Effective rate at which adapter copies steal engine time.  Host-to-GPU
+    #: adapter loads in S-LoRA synchronize with the execution stream, so a
+    #: transfer that completes while the engine is busy delays the pipeline by
+    #: roughly ``bytes / load_stall_bandwidth`` (stream syncs + paged copies
+    #: make this slower than the raw link).  This is the §3.2 mechanism that
+    #: makes frequent adapter loading degrade *throughput*, not just TTFT.
+    #: ``None`` disables stall accounting (ideal fully-async copies).
+    #: Calibrated so the S-LoRA baseline's SLO-crossing load sits ~1.5x below
+    #: Chameleon's, the paper's Figure 11 headline (see abl_load_stall for
+    #: the sensitivity of the result to this constant).
+    load_stall_bandwidth: Optional[float] = 2.0 * GB
+
+
+@dataclass
+class EngineStats:
+    """Run counters the experiments report."""
+
+    iterations: int = 0
+    busy_time: float = 0.0
+    stall_time: float = 0.0
+    prefill_tokens: int = 0
+    decode_tokens: int = 0
+    squashes: int = 0
+    admissions: int = 0
+
+
+class ServingEngine:
+    """One LLM replica with continuous batching (see module docstring)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gpu: GpuDevice,
+        link: PcieLink,
+        model: ModelSpec,
+        cost_model: CostModel,
+        registry: AdapterRegistry,
+        scheduler: Scheduler,
+        adapter_manager: AdapterManagerBase,
+        predictor: Optional[OutputLengthPredictor] = None,
+        config: EngineConfig = EngineConfig(),
+    ) -> None:
+        self.sim = sim
+        self.gpu = gpu
+        self.link = link
+        self.model = model
+        self.cost_model = cost_model
+        self.registry = registry
+        self.scheduler = scheduler
+        self.adapter_manager = adapter_manager
+        self.predictor = predictor
+        self.config = config
+        self.stats = EngineStats()
+
+        self._running: list[Request] = []
+        self._pending_load: list[Request] = []
+        self._iteration_event = None
+        self._last_decode_step_time = 0.02  # seed for release-time estimates
+        self._pending_stall = 0.0           # engine time owed to adapter copies
+        self.all_requests: list[Request] = []
+        self.batch_occupancy: list[tuple[float, int]] = []
+
+        # Static reservations: base weights + activation workspace.
+        self.gpu.reserve("weights", model.weight_bytes)
+        self.gpu.reserve("activations", config.activation_reserve_bytes)
+        if config.memory_telemetry_interval is not None:
+            self.gpu.enable_telemetry(config.memory_telemetry_interval)
+
+        self.adapter_manager.on_ready(self._on_adapter_ready)
+
+    # ------------------------------------------------------------------ #
+    # Capacity views
+    # ------------------------------------------------------------------ #
+    @property
+    def total_token_capacity(self) -> int:
+        """Scheduling tokens available system-wide (§4.3.5's Tok_total)."""
+        usable = self.gpu.capacity - self.model.weight_bytes - self.config.activation_reserve_bytes
+        return max(0, usable // self.model.kv_bytes_per_token)
+
+    def adapter_token_cost(self, adapter_id: Optional[int]) -> int:
+        """An adapter's memory footprint expressed in scheduling tokens."""
+        if adapter_id is None:
+            return 0
+        size = self.registry.get(adapter_id).size_bytes
+        return -(-size // self.model.kv_bytes_per_token)  # ceil division
+
+    def in_flight_count(self) -> int:
+        return len(self._running) + len(self._pending_load) + self.scheduler.queue_len()
+
+    def request_rank(self, request: Request) -> Optional[int]:
+        if request.adapter_id is None:
+            return None
+        return self.registry.get(request.adapter_id).rank
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(self, request: Request) -> None:
+        """Accept a request at the current simulated time."""
+        now = self.sim.now
+        request.enqueue_time = now
+        request.state = RequestState.QUEUED
+        if self.predictor is not None and request.predicted_output_tokens is None:
+            self.predictor.annotate(request)
+        self.all_requests.append(request)
+        self.scheduler.enqueue(request, now)
+        self.adapter_manager.on_request_arrival(request)
+        self._kick()
+
+    def run_trace(self, requests: Iterable[Request], horizon: Optional[float] = None) -> None:
+        """Schedule every request's arrival and run the simulation.
+
+        Without a ``horizon`` the simulation runs until the event heap drains
+        (all requests finished and all transfers complete).
+        """
+        for request in requests:
+            if request.state is not RequestState.CREATED:
+                raise ValueError(
+                    f"request {request.request_id} was already run through an "
+                    "engine; use Trace.fresh() to replay a trace"
+                )
+            self.sim.schedule_at(request.arrival_time, self.submit, request)
+        if self.config.memory_telemetry_interval is not None and horizon is not None:
+            self._schedule_memory_sampling(horizon)
+        self.sim.run(until=horizon)
+
+    def summary(self, **kwargs) -> RunSummary:
+        return summarize_run(self.all_requests, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Admission (called through AdmissionContext.try_admit)
+    # ------------------------------------------------------------------ #
+    def admit(self, request: Request) -> AdmitResult:
+        if request.state not in (RequestState.QUEUED, RequestState.CREATED):
+            raise RuntimeError(f"request {request.request_id} is not admissible ({request.state})")
+        if len(self._running) + len(self._pending_load) >= self.config.max_batch_size:
+            return AdmitResult.BATCH_FULL
+
+        kv_bytes = (request.input_tokens + request.output_tokens) * self.model.kv_bytes_per_token
+        adapter_id = request.adapter_id
+        adapter_bytes_needed = 0
+        if adapter_id is not None:
+            entry_state = self.adapter_manager.entry(adapter_id).state
+            if entry_state is AdapterState.MISSING:
+                adapter_bytes_needed = self.registry.get(adapter_id).size_bytes
+
+        needed = kv_bytes + adapter_bytes_needed
+        if self.gpu.free_bytes < needed:
+            exclude = {adapter_id} if adapter_id is not None else None
+            self.adapter_manager.make_room(needed, exclude=exclude)
+            if self.gpu.free_bytes < needed:
+                if self.gpu.free_bytes < kv_bytes:
+                    return AdmitResult.NO_MEMORY
+                return AdmitResult.NO_ADAPTER_ROOM
+
+        self.gpu.reserve("kv", kv_bytes)
+        request.kv_reserved_bytes = kv_bytes
+        if request.admit_time is None:
+            request.admit_time = self.sim.now
+        self.stats.admissions += 1
+
+        if adapter_id is not None:
+            status = self.adapter_manager.acquire(adapter_id)
+            if status is AdapterState.LOADING:
+                request.state = RequestState.LOADING
+                self._pending_load.append(request)
+                return AdmitResult.ADMITTED
+        self._begin_prefill(request)
+        return AdmitResult.ADMITTED
+
+    def _begin_prefill(self, request: Request) -> None:
+        now = self.sim.now
+        request.state = RequestState.PREFILL
+        # prefill_start_time is stamped when the first prefill chunk is
+        # actually planned (the per-iteration budget can defer it).
+        if request.adapter_ready_time is None:
+            request.adapter_ready_time = now
+        self._running.append(request)
+
+    # ------------------------------------------------------------------ #
+    # Squashing (§4.3.3)
+    # ------------------------------------------------------------------ #
+    def squash(self, request: Request) -> None:
+        """Abort a running/loading request and roll back all its progress."""
+        if request in self._running:
+            self._running.remove(request)
+        elif request in self._pending_load:
+            self._pending_load.remove(request)
+        else:
+            raise RuntimeError(f"cannot squash request {request.request_id}: not in flight")
+        self.gpu.release("kv", request.kv_reserved_bytes)
+        request.kv_reserved_bytes = 0
+        if request.adapter_id is not None:
+            self.adapter_manager.release(request.adapter_id)
+        request.tokens_generated = 0
+        request.prefill_done_tokens = 0
+        request.token_times.clear()
+        request.first_token_time = None
+        request.prefill_start_time = None
+        request.adapter_ready_time = None
+        request.squash_count += 1
+        request.state = RequestState.QUEUED
+        self.stats.squashes += 1
+        self.scheduler.requeue_front(request, self.sim.now)
+
+    # ------------------------------------------------------------------ #
+    # Scheduler-visible estimates
+    # ------------------------------------------------------------------ #
+    def estimate_service_time(self, request: Request) -> float:
+        predicted = request.predicted_output_tokens
+        if predicted is None:
+            predicted = request.output_tokens
+        return self.cost_model.estimate_service_time(
+            request.input_tokens, predicted, self.request_rank(request)
+        )
+
+    def estimate_earliest_release(self) -> float:
+        """Predicted seconds until some running request frees its memory."""
+        best = float("inf")
+        for request in self._running:
+            predicted = request.predicted_output_tokens or request.output_tokens
+            remaining_tokens = max(1, predicted - request.tokens_generated)
+            est = remaining_tokens * self._last_decode_step_time
+            if request.remaining_prefill_tokens > 0:
+                est += self.cost_model.prefill_time(
+                    request.remaining_prefill_tokens, self.request_rank(request)
+                )
+            best = min(best, est)
+        return best
+
+    # ------------------------------------------------------------------ #
+    # The iteration loop
+    # ------------------------------------------------------------------ #
+    def _kick(self) -> None:
+        if self._iteration_event is None:
+            self._start_iteration()
+
+    def _on_adapter_ready(self, adapter_id: int) -> None:
+        # A copy that lands while the engine is executing steals pipeline
+        # time (stream synchronization); copies finishing into an idle engine
+        # are free.  The debt is charged to the next iteration.
+        stall_bw = self.config.load_stall_bandwidth
+        if stall_bw is not None and self._iteration_event is not None:
+            size = self.registry.get(adapter_id).size_bytes
+            self._pending_stall += size / stall_bw
+        self._promote_ready()
+        self._kick()
+
+    def _promote_ready(self) -> None:
+        still_waiting = []
+        for request in self._pending_load:
+            assert request.adapter_id is not None
+            if self.adapter_manager.is_resident(request.adapter_id):
+                now = self.sim.now
+                admitted_at = request.admit_time if request.admit_time is not None else now
+                request.adapter_load_critical_path = now - admitted_at
+                self._begin_prefill(request)
+            else:
+                still_waiting.append(request)
+        self._pending_load = still_waiting
+
+    def _start_iteration(self) -> None:
+        if self._iteration_event is not None:
+            return
+        now = self.sim.now
+        self.scheduler.on_schedule(now)
+        self.adapter_manager.set_queued_needed(self.scheduler.queued_adapter_ids())
+        ctx = AdmissionContext(self)
+        self.scheduler.select(ctx)
+        self._promote_ready()
+
+        prefill_plan = self._build_prefill_plan()
+        for request, _tokens in prefill_plan:
+            if request.prefill_start_time is None:
+                request.prefill_start_time = now
+        decode_set = [r for r in self._running if r.remaining_prefill_tokens == 0]
+
+        if not prefill_plan and not decode_set:
+            return  # idle; an arrival or adapter-ready event will wake us
+
+        n_decode = len(decode_set)
+        ctx_tokens = sum(r.context_tokens for r in decode_set)
+        total_rank = 0
+        n_lora = 0
+        for r in decode_set:
+            rank = self.request_rank(r)
+            if rank is not None:
+                total_rank += rank
+                n_lora += 1
+        prefill_work = [
+            (tokens, self.request_rank(r)) for r, tokens in prefill_plan
+        ]
+        dt = self.cost_model.iteration_time(
+            prefill_work, n_decode, ctx_tokens, total_rank, n_lora
+        )
+        if self._pending_stall > 0.0:
+            dt += self._pending_stall
+            self.stats.stall_time += self._pending_stall
+            self._pending_stall = 0.0
+        if n_decode:
+            self._last_decode_step_time = self.cost_model.decode_step_time(
+                n_decode, ctx_tokens, total_rank, n_lora
+            )
+        if self.config.record_batch_occupancy:
+            self.batch_occupancy.append((now, len(self._running)))
+        self.stats.iterations += 1
+        self.stats.busy_time += dt
+        self.stats.prefill_tokens += sum(t for _, t in prefill_plan)
+        self.stats.decode_tokens += n_decode
+        self._iteration_event = self.sim.schedule(
+            dt, self._end_iteration, prefill_plan, decode_set
+        )
+
+    def _build_prefill_plan(self) -> list[tuple[Request, int]]:
+        """Choose this iteration's prefill work, in batch-admission order.
+
+        With ``chunk_size`` set, requests are split into chunks under that
+        budget (chunked prefill).  Otherwise whole requests are planned under
+        ``prefill_token_budget``; the first request that does not fit stops
+        the scan (strict order — admission order is the priority order), and
+        an oversized request is granted a solo iteration.
+        """
+        chunked = self.config.chunk_size is not None
+        budget = self.config.chunk_size if chunked else self.config.prefill_token_budget
+        plan: list[tuple[Request, int]] = []
+        for request in self._running:
+            remaining = request.remaining_prefill_tokens
+            if remaining <= 0:
+                continue
+            if chunked:
+                if budget <= 0:
+                    break
+                take = min(budget, remaining)
+                plan.append((request, take))
+                budget -= take
+            else:
+                if remaining <= budget:
+                    plan.append((request, remaining))
+                    budget -= remaining
+                elif not plan:
+                    plan.append((request, remaining))  # oversized: run alone
+                    budget = 0
+                    break
+                else:
+                    break
+        return plan
+
+    def _end_iteration(self, prefill_plan: list, decode_set: list) -> None:
+        self._iteration_event = None
+        now = self.sim.now
+        finished: list[Request] = []
+        for request, tokens in prefill_plan:
+            request.prefill_done_tokens += tokens
+            if request.remaining_prefill_tokens == 0:
+                request.tokens_generated = 1
+                request.first_token_time = now
+                request.token_times.append(now)
+                request.state = RequestState.DECODE
+                if request.output_tokens == 1:
+                    finished.append(request)
+        for request in decode_set:
+            request.tokens_generated += 1
+            request.token_times.append(now)
+            if request.tokens_generated >= request.output_tokens:
+                finished.append(request)
+        for request in finished:
+            self._finish(request, now)
+        self.gpu.maybe_sample(now)
+        self._start_iteration()
+
+    def _finish(self, request: Request, now: float) -> None:
+        request.state = RequestState.FINISHED
+        request.finish_time = now
+        self._running.remove(request)
+        self.gpu.release("kv", request.kv_reserved_bytes)
+        request.kv_reserved_bytes = 0
+        if request.adapter_id is not None:
+            self.adapter_manager.release(request.adapter_id)
+        self.scheduler.on_finish(request, now)
+
+    # ------------------------------------------------------------------ #
+    def _schedule_memory_sampling(self, horizon: float) -> None:
+        interval = self.config.memory_telemetry_interval
+        assert interval is not None
+
+        def _sample() -> None:
+            self.gpu.maybe_sample(self.sim.now)
+            if self.sim.now + interval <= horizon:
+                self.sim.schedule(interval, _sample)
+
+        self.sim.schedule(0.0, _sample)

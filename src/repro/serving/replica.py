@@ -1,0 +1,95 @@
+"""Data-parallel serving: N engines behind a two-level scheduler (§4.4).
+
+With data parallelism, Chameleon "uses a two-level scheduler: a global
+scheduler dispatches requests to the different engines, and each engine has
+its local scheduler", and "replicates the adapter cache across engines"
+(each replica manages its own cache of the shared adapter pool).
+
+:class:`MultiReplicaSystem` builds N identical replicas of any system preset
+on one shared simulated clock, dispatches arrivals through a
+:class:`~repro.hardware.cluster.DataParallelCluster` policy, and aggregates
+metrics across engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hardware.cluster import DataParallelCluster
+from repro.metrics.summary import RunSummary, summarize_run
+from repro.sim.simulator import Simulator
+from repro.workload.request import Request, RequestState
+
+
+@dataclass
+class MultiReplicaSystem:
+    """N data-parallel replicas of one serving-system preset."""
+
+    replicas: list
+    cluster: DataParallelCluster
+    sim: Simulator
+
+    @classmethod
+    def build(
+        cls,
+        preset: str,
+        n_replicas: int,
+        dispatch_policy: str = "least_loaded",
+        **build_kwargs,
+    ) -> "MultiReplicaSystem":
+        """Build ``n_replicas`` copies of ``preset`` on one shared clock.
+
+        Accepts the same keyword arguments as
+        :func:`repro.systems.build_system`.
+        """
+        from repro.systems import build_system  # local import: avoid cycle
+
+        if n_replicas < 1:
+            raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+        sim = Simulator()
+        replicas = [
+            build_system(preset, sim=sim, **build_kwargs)
+            for _ in range(n_replicas)
+        ]
+        cluster = DataParallelCluster(
+            [system.engine for system in replicas], policy=dispatch_policy
+        )
+        return cls(replicas=replicas, cluster=cluster, sim=sim)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def engines(self) -> list:
+        return [system.engine for system in self.replicas]
+
+    def run_trace(self, requests, horizon: Optional[float] = None) -> None:
+        """Dispatch every arrival through the global scheduler and run."""
+        for request in requests:
+            if request.state is not RequestState.CREATED:
+                raise ValueError(
+                    f"request {request.request_id} was already run; "
+                    "use Trace.fresh()"
+                )
+            self.sim.schedule_at(request.arrival_time, self.cluster.dispatch, request)
+        self.sim.run(until=horizon)
+
+    def all_requests(self) -> list[Request]:
+        return [r for engine in self.engines for r in engine.all_requests]
+
+    def summary(self, **kwargs) -> RunSummary:
+        return summarize_run(self.all_requests(), **kwargs)
+
+    def per_replica_counts(self) -> list[int]:
+        """Completed requests per replica (load-balance diagnostics)."""
+        return [
+            sum(1 for r in engine.all_requests if r.finished)
+            for engine in self.engines
+        ]
+
+    def mean_hit_rate(self) -> float:
+        rates = [
+            system.adapter_manager.stats.hit_rate for system in self.replicas
+            if system.adapter_manager.stats.hits + system.adapter_manager.stats.misses
+            + system.adapter_manager.stats.overlapped > 0
+        ]
+        return sum(rates) / len(rates) if rates else float("nan")

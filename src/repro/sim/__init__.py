@@ -1,0 +1,12 @@
+"""Discrete-event simulation kernel.
+
+This package provides the minimal, deterministic event-driven substrate on
+which the serving system runs: a simulated clock, an event heap with stable
+FIFO ordering for simultaneous events, and named, reproducible random-number
+streams.
+"""
+
+from repro.sim.simulator import Event, Simulator
+from repro.sim.rng import RngStreams
+
+__all__ = ["Event", "Simulator", "RngStreams"]

@@ -1,0 +1,228 @@
+"""System presets: every configuration the paper evaluates, by name.
+
+``build_system`` assembles a full serving stack — simulator, GPU (or TP
+group), PCIe link, cost model, adapter registry, predictor, scheduler,
+adapter manager, engine — for one of the named presets:
+
+=====================  ==========================  ==============================
+preset                 scheduler                   adapter management
+=====================  ==========================  ==============================
+slora                  FIFO                        fetch-on-demand, no cache
+slora_sjf              SJF (µServe)                fetch-on-demand, no cache
+slora_chunked          FIFO + chunked prefill      fetch-on-demand, no cache
+chameleon              Chameleon MLQ               Chameleon cache (compound score)
+chameleon_nocache      Chameleon MLQ               fetch-on-demand, no cache
+chameleon_nosched      FIFO                        Chameleon cache
+chameleon_lru          Chameleon MLQ               Chameleon cache, LRU eviction
+chameleon_fairshare    Chameleon MLQ               Chameleon cache, equal weights
+chameleon_gdsf         Chameleon MLQ               Chameleon cache, GDSF eviction
+chameleon_prefetch     Chameleon MLQ               cache + histogram prefetcher
+chameleon_static       static 4-queue MLQ          Chameleon cache
+chameleon_outputonly   MLQ, WRS = output only      Chameleon cache
+=====================  ==========================  ==============================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.adapters.registry import AdapterRegistry
+from repro.core.cache import CachePrefetcher, ChameleonCacheManager
+from repro.core.eviction import make_policy
+from repro.core.mlq import MlqConfig, MlqScheduler
+from repro.core.wrs import WorkloadBounds, WrsParams
+from repro.hardware.cluster import TensorParallelGroup
+from repro.hardware.gpu import A40_48GB, GpuDevice, GpuSpec
+from repro.hardware.pcie import PcieLink, PcieSpec
+from repro.llm.costmodel import CostModel, CostModelParams
+from repro.llm.model import LLAMA_7B, ModelSpec
+from repro.predictor.output_length import OutputLengthPredictor
+from repro.serving.adapter_manager import AdapterManagerBase, SloraAdapterManager
+from repro.serving.engine import EngineConfig, ServingEngine
+from repro.serving.schedulers import FifoScheduler, Scheduler, SjfScheduler
+from repro.sim.rng import RngStreams
+from repro.sim.simulator import Simulator
+from repro.workload.trace import SPLITWISE_PROFILE, TraceProfile
+
+PRESETS = (
+    "slora",
+    "slora_sjf",
+    "slora_chunked",
+    "chameleon",
+    "chameleon_nocache",
+    "chameleon_nosched",
+    "chameleon_lru",
+    "chameleon_fairshare",
+    "chameleon_gdsf",
+    "chameleon_prefetch",
+    "chameleon_static",
+    "chameleon_outputonly",
+)
+
+#: Sarathi-style prefill token budget for the chunked-prefill baseline.
+DEFAULT_CHUNK_SIZE = 512
+
+
+@dataclass
+class System:
+    """A fully-wired serving stack, ready to run a trace."""
+
+    preset: str
+    sim: Simulator
+    gpu: GpuDevice
+    link: PcieLink
+    model: ModelSpec
+    cost_model: CostModel
+    registry: AdapterRegistry
+    scheduler: Scheduler
+    adapter_manager: AdapterManagerBase
+    predictor: Optional[OutputLengthPredictor]
+    engine: ServingEngine
+    rng: RngStreams
+    prefetcher: Optional[CachePrefetcher] = None
+
+    def run_trace(self, requests, horizon: Optional[float] = None) -> None:
+        self.engine.run_trace(requests, horizon=horizon)
+
+    def summary(self, **kwargs):
+        return self.engine.summary(**kwargs)
+
+
+def default_bounds(
+    registry: AdapterRegistry,
+    profile: TraceProfile = SPLITWISE_PROFILE,
+) -> WorkloadBounds:
+    """WRS normalization bounds from a trace profile and an adapter pool."""
+    return WorkloadBounds(
+        max_input_tokens=profile.max_input_tokens,
+        max_output_tokens=profile.max_output_tokens,
+        max_adapter_bytes=registry.max_size_bytes,
+    )
+
+
+def build_system(
+    preset: str,
+    *,
+    model: ModelSpec = LLAMA_7B,
+    gpu: GpuSpec = A40_48GB,
+    gpu_memory_bytes: Optional[int] = None,
+    tp_degree: int = 1,
+    registry: Optional[AdapterRegistry] = None,
+    n_adapters: int = 100,
+    profile: TraceProfile = SPLITWISE_PROFILE,
+    predictor_accuracy: Optional[float] = 0.8,
+    slo: float = 5.0,
+    seed: int = 0,
+    pcie: PcieSpec = PcieSpec(),
+    cost_params: CostModelParams = CostModelParams(),
+    engine_config: Optional[EngineConfig] = None,
+    mlq_config: Optional[MlqConfig] = None,
+    link_keep_log: bool = False,
+    sim: Optional[Simulator] = None,
+) -> System:
+    """Build a named system preset (see module docstring).
+
+    ``slo`` feeds the MLQ quota solver; experiments pass the trace-derived
+    SLO (5x mean isolated latency).  ``predictor_accuracy=None`` disables the
+    predictor (only valid for presets that do not need predictions).
+    Pass a shared ``sim`` to co-schedule several systems on one clock
+    (data-parallel replicas).
+    """
+    if preset not in PRESETS:
+        raise ValueError(f"unknown preset {preset!r}; choose from {PRESETS}")
+
+    sim = sim if sim is not None else Simulator()
+    rng = RngStreams(seed)
+    if tp_degree > 1:
+        device: GpuDevice = TensorParallelGroup(gpu, tp_degree)
+        if gpu_memory_bytes is not None:
+            raise ValueError("use the GpuSpec to size memory for TP groups")
+    else:
+        device = GpuDevice(gpu, memory_bytes=gpu_memory_bytes)
+    link = PcieLink(sim, pcie)
+    link.keep_log = link_keep_log
+    if registry is None:
+        registry = AdapterRegistry.build(model, n_adapters)
+    speedup = device.compute_speedup if isinstance(device, TensorParallelGroup) else 1.0
+    cost_model = CostModel(model, gpu, cost_params, compute_speedup=speedup)
+
+    predictor = None
+    if predictor_accuracy is not None:
+        predictor = OutputLengthPredictor(rng.get("predictor"), accuracy=predictor_accuracy)
+
+    engine_config = engine_config or EngineConfig()
+    if preset == "slora_chunked" and engine_config.chunk_size is None:
+        engine_config = EngineConfig(
+            max_batch_size=engine_config.max_batch_size,
+            chunk_size=DEFAULT_CHUNK_SIZE,
+            activation_reserve_bytes=engine_config.activation_reserve_bytes,
+            memory_telemetry_interval=engine_config.memory_telemetry_interval,
+        )
+
+    bounds = default_bounds(registry, profile)
+    scheduler = _build_scheduler(preset, model, registry, cost_model, bounds, slo, mlq_config)
+    manager, prefetcher = _build_manager(preset, sim, device, link, registry)
+
+    if scheduler.needs_predictions and predictor is None:
+        raise ValueError(f"preset {preset!r} needs an output-length predictor")
+
+    engine = ServingEngine(
+        sim=sim, gpu=device, link=link, model=model, cost_model=cost_model,
+        registry=registry, scheduler=scheduler, adapter_manager=manager,
+        predictor=predictor, config=engine_config,
+    )
+    return System(
+        preset=preset, sim=sim, gpu=device, link=link, model=model,
+        cost_model=cost_model, registry=registry, scheduler=scheduler,
+        adapter_manager=manager, predictor=predictor, engine=engine, rng=rng,
+        prefetcher=prefetcher,
+    )
+
+
+def _build_scheduler(
+    preset: str,
+    model: ModelSpec,
+    registry: AdapterRegistry,
+    cost_model: CostModel,
+    bounds: WorkloadBounds,
+    slo: float,
+    mlq_config: Optional[MlqConfig],
+) -> Scheduler:
+    if preset in ("slora", "slora_chunked", "chameleon_nosched"):
+        return FifoScheduler()
+    if preset == "slora_sjf":
+        return SjfScheduler()
+    config = mlq_config
+    if config is None:
+        if preset == "chameleon_static":
+            config = MlqConfig(slo=slo, static_k=4)
+        elif preset == "chameleon_outputonly":
+            config = MlqConfig(slo=slo, wrs_params=WrsParams(mode="output_only"))
+        else:
+            config = MlqConfig(slo=slo)
+    return MlqScheduler(model, registry, cost_model, bounds, config)
+
+
+def _build_manager(
+    preset: str,
+    sim: Simulator,
+    device: GpuDevice,
+    link: PcieLink,
+    registry: AdapterRegistry,
+) -> tuple[AdapterManagerBase, Optional[CachePrefetcher]]:
+    if preset in ("slora", "slora_sjf", "slora_chunked", "chameleon_nocache"):
+        return SloraAdapterManager(sim, device, link, registry), None
+    policy_name = {
+        "chameleon_lru": "lru",
+        "chameleon_fairshare": "fairshare",
+        "chameleon_gdsf": "gdsf",
+    }.get(preset, "chameleon")
+    policy = make_policy(policy_name, link_bandwidth=link.spec.bandwidth_bytes)
+    prefetcher = None
+    if preset == "chameleon_prefetch":
+        prefetcher = CachePrefetcher(sim)
+    manager = ChameleonCacheManager(
+        sim, device, link, registry, policy=policy, prefetcher=prefetcher
+    )
+    return manager, prefetcher

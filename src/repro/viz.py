@@ -1,0 +1,123 @@
+"""Terminal plots for experiment results (no plotting dependencies).
+
+The offline environment has no matplotlib; these ASCII renderers make the
+regenerated figures *look* like figures: multi-series line charts for the
+load sweeps and timelines, bar charts for the grouped comparisons.  Used by
+``python -m repro.cli <id> --plot``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+#: Glyphs assigned to series, in order.
+SERIES_GLYPHS = "*o+x@#%&"
+
+
+def _scale(value: float, lo: float, hi: float, steps: int) -> int:
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(steps, max(0, int(round(frac * steps))))
+
+
+def line_chart(
+    x: Sequence[float],
+    series: dict,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render multiple y-series over a shared x-axis as an ASCII chart.
+
+    ``series`` maps name -> list of y values (``None`` entries are skipped).
+    """
+    if not x or not series:
+        raise ValueError("need at least one x point and one series")
+    values = [v for ys in series.values() for v in ys if v is not None]
+    if not values:
+        raise ValueError("all series are empty")
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        hi = lo + 1.0
+    x_lo, x_hi = min(x), max(x)
+
+    grid = [[" "] * (width + 1) for _ in range(height + 1)]
+    for (name, ys), glyph in zip(series.items(), SERIES_GLYPHS):
+        for xi, yi in zip(x, ys):
+            if yi is None:
+                continue
+            col = _scale(xi, x_lo, x_hi, width)
+            row = height - _scale(yi, lo, hi, height)
+            grid[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_value = hi - (hi - lo) * i / height
+        prefix = f"{y_value:10.3g} |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * (width + 1))
+    lines.append(" " * 12 + f"{x_lo:<10.4g}{' ' * max(0, width - 18)}{x_hi:>10.4g}")
+    if x_label:
+        lines.append(" " * 12 + x_label)
+    legend = "   ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(series.items(), SERIES_GLYPHS)
+    )
+    lines.append(f"legend: {legend}")
+    if y_label:
+        lines.insert(1 if title else 0, f"[y: {y_label}]")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart."""
+    if len(labels) != len(values) or not labels:
+        raise ValueError("labels and values must be equal-length and non-empty")
+    peak = max(values)
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * (_scale(value, 0.0, peak, width) if peak > 0 else 0)
+        lines.append(f"{label.rjust(label_width)} |{bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def result_chart(result) -> Optional[str]:
+    """Best-effort chart for an ExperimentResult.
+
+    Numeric multi-column rows over a numeric leading column render as a line
+    chart; single-row-per-category tables render as bars; anything else
+    returns ``None`` (the caller falls back to the table).
+    """
+    rows = result.rows
+    if not rows:
+        return None
+    columns = list(rows[0].keys())
+    first = columns[0]
+    numeric_x = all(isinstance(r.get(first), (int, float)) and r.get(first) is not None
+                    for r in rows)
+    value_columns = [
+        c for c in columns[1:]
+        if all(isinstance(r.get(c), (int, float)) or r.get(c) is None for r in rows)
+        and any(isinstance(r.get(c), (int, float)) for r in rows)
+    ]
+    if numeric_x and len(rows) >= 3 and value_columns:
+        x = [float(r[first]) for r in rows]
+        series = {c: [r.get(c) for r in rows] for c in value_columns[:len(SERIES_GLYPHS)]}
+        return line_chart(x, series, title=result.description, x_label=first)
+    if not numeric_x and value_columns:
+        column = value_columns[0]
+        labels = [str(r[first]) for r in rows]
+        values = [float(r[column]) if r[column] is not None else 0.0 for r in rows]
+        return bar_chart(labels, values, title=f"{result.description} — {column}")
+    return None

@@ -1,0 +1,46 @@
+"""Workload model: requests, length/popularity distributions, trace synthesis."""
+
+from repro.workload.request import Request, RequestState
+from repro.workload.distributions import (
+    zipf_weights,
+    sample_categorical,
+    sample_lognormal_lengths,
+)
+from repro.workload.io import (
+    TraceStatistics,
+    load_trace,
+    save_trace,
+    trace_statistics,
+)
+from repro.workload.trace import (
+    TraceProfile,
+    Trace,
+    SPLITWISE_PROFILE,
+    WILDCHAT_PROFILE,
+    LMSYS_PROFILE,
+    TRACE_PROFILES,
+    synthesize_trace,
+    assign_adapters,
+    scale_trace_to_memory,
+)
+
+__all__ = [
+    "Request",
+    "RequestState",
+    "zipf_weights",
+    "sample_categorical",
+    "sample_lognormal_lengths",
+    "TraceProfile",
+    "Trace",
+    "SPLITWISE_PROFILE",
+    "WILDCHAT_PROFILE",
+    "LMSYS_PROFILE",
+    "TRACE_PROFILES",
+    "synthesize_trace",
+    "assign_adapters",
+    "scale_trace_to_memory",
+    "TraceStatistics",
+    "load_trace",
+    "save_trace",
+    "trace_statistics",
+]

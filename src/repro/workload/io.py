@@ -1,0 +1,109 @@
+"""Trace persistence and summary statistics.
+
+Traces synthesized once can be saved to JSON and replayed across machines or
+against later versions of the system (the reproduction equivalent of
+shipping the Azure trace file).  ``trace_statistics`` computes the summary
+table a paper's workload section reports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.workload.request import Request
+from repro.workload.trace import Trace, TraceProfile
+
+FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Serialize a trace (requests + generation parameters) to JSON."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "profile": asdict(trace.profile),
+        "rps": trace.rps,
+        "duration": trace.duration,
+        "requests": [
+            {
+                "id": r.request_id,
+                "arrival": r.arrival_time,
+                "input": r.input_tokens,
+                "output": r.output_tokens,
+                "adapter": r.adapter_id,
+            }
+            for r in trace.requests
+        ],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Load a trace previously written by :func:`save_trace`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {version!r}")
+    profile = TraceProfile(**payload["profile"])
+    requests = [
+        Request(
+            request_id=entry["id"],
+            arrival_time=entry["arrival"],
+            input_tokens=entry["input"],
+            output_tokens=entry["output"],
+            adapter_id=entry["adapter"],
+        )
+        for entry in payload["requests"]
+    ]
+    return Trace(requests=requests, profile=profile,
+                 rps=payload["rps"], duration=payload["duration"])
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """The workload-characterization numbers a paper reports."""
+
+    n_requests: int
+    duration: float
+    mean_rps: float
+    mean_input_tokens: float
+    p50_input_tokens: float
+    p99_input_tokens: float
+    mean_output_tokens: float
+    p50_output_tokens: float
+    p99_output_tokens: float
+    distinct_adapters: int
+    top_adapter_share: float  # fraction of requests using the hottest adapter
+
+
+def trace_statistics(trace: Trace) -> TraceStatistics:
+    """Summary statistics of a trace (lengths, skew, effective rate)."""
+    if not trace.requests:
+        raise ValueError("cannot summarize an empty trace")
+    inputs = np.array([r.input_tokens for r in trace.requests])
+    outputs = np.array([r.output_tokens for r in trace.requests])
+    adapters = [r.adapter_id for r in trace.requests if r.adapter_id is not None]
+    if adapters:
+        counts = np.bincount(adapters)
+        distinct = int(np.count_nonzero(counts))
+        top_share = float(counts.max()) / len(trace.requests)
+    else:
+        distinct, top_share = 0, 0.0
+    span = max(r.arrival_time for r in trace.requests) or 1.0
+    return TraceStatistics(
+        n_requests=len(trace.requests),
+        duration=trace.duration,
+        mean_rps=len(trace.requests) / span,
+        mean_input_tokens=float(inputs.mean()),
+        p50_input_tokens=float(np.percentile(inputs, 50)),
+        p99_input_tokens=float(np.percentile(inputs, 99)),
+        mean_output_tokens=float(outputs.mean()),
+        p50_output_tokens=float(np.percentile(outputs, 50)),
+        p99_output_tokens=float(np.percentile(outputs, 99)),
+        distinct_adapters=distinct,
+        top_adapter_share=top_share,
+    )

@@ -1,0 +1,126 @@
+"""The inference request and its lifecycle record.
+
+A request carries its ground-truth sizes (the simulator knows the real output
+length, like a trace replay does) plus the *predicted* output length that is
+all the schedulers are allowed to look at, mirroring the paper's use of a
+BERT proxy predictor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class RequestState(enum.Enum):
+    """Lifecycle of a request inside one engine."""
+
+    CREATED = "created"
+    QUEUED = "queued"
+    LOADING = "loading"      # admitted, waiting for its adapter transfer
+    PREFILL = "prefill"
+    DECODE = "decode"
+    FINISHED = "finished"
+
+
+@dataclass
+class Request:
+    """One inference request.
+
+    Attributes:
+        request_id: Unique id within a trace.
+        arrival_time: Simulated arrival timestamp (seconds).
+        input_tokens: Prompt length (known on arrival).
+        output_tokens: True number of generated tokens (>= 1; unknown to
+            schedulers until completion).
+        adapter_id: LoRA adapter used, or ``None`` for a base-model request.
+        predicted_output_tokens: The proxy predictor's estimate, filled in at
+            submission time.
+    """
+
+    request_id: int
+    arrival_time: float
+    input_tokens: int
+    output_tokens: int
+    adapter_id: Optional[int] = None
+    predicted_output_tokens: Optional[int] = None
+
+    # -- engine-side mutable state -------------------------------------- #
+    state: RequestState = RequestState.CREATED
+    tokens_generated: int = 0
+    prefill_done_tokens: int = 0          # chunked-prefill progress
+    kv_reserved_bytes: int = 0
+    wrs: Optional[float] = None           # weighted request size, once computed
+    queue_index: Optional[int] = None     # MLQ lane, once classified
+    token_cost: int = 0                   # MLQ quota tokens charged
+    squash_count: int = 0                 # times squashed by the bypass logic
+
+    # -- timeline stamps -------------------------------------------------#
+    enqueue_time: Optional[float] = None
+    admit_time: Optional[float] = None       # first admitted to a batch
+    adapter_ready_time: Optional[float] = None
+    prefill_start_time: Optional[float] = None
+    first_token_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    token_times: list = field(default_factory=list)
+    adapter_load_critical_path: float = 0.0  # seconds spent blocked on loading
+
+    def __post_init__(self) -> None:
+        if self.input_tokens < 1:
+            raise ValueError(f"input_tokens must be >= 1, got {self.input_tokens}")
+        if self.output_tokens < 1:
+            raise ValueError(f"output_tokens must be >= 1, got {self.output_tokens}")
+
+    # -- derived metrics --------------------------------------------------#
+    @property
+    def uses_adapter(self) -> bool:
+        return self.adapter_id is not None
+
+    @property
+    def context_tokens(self) -> int:
+        """Current context length: prompt plus generated tokens."""
+        return self.input_tokens + self.tokens_generated
+
+    @property
+    def remaining_prefill_tokens(self) -> int:
+        return self.input_tokens - self.prefill_done_tokens
+
+    @property
+    def finished(self) -> bool:
+        return self.state is RequestState.FINISHED
+
+    @property
+    def ttft(self) -> float:
+        """Time-to-first-token (arrival to first emitted token)."""
+        if self.first_token_time is None:
+            raise RuntimeError(f"request {self.request_id} has no first token yet")
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def e2e_latency(self) -> float:
+        if self.finish_time is None:
+            raise RuntimeError(f"request {self.request_id} has not finished")
+        return self.finish_time - self.arrival_time
+
+    @property
+    def queueing_delay(self) -> float:
+        """Seconds spent waiting in a queue before first admission."""
+        if self.admit_time is None or self.enqueue_time is None:
+            raise RuntimeError(f"request {self.request_id} was never admitted")
+        return self.admit_time - self.enqueue_time
+
+    @property
+    def service_wait(self) -> float:
+        """Seconds from arrival until the request is actually *served*
+        (its prefill starts).  This is the paper's "time waiting in the
+        queues": it includes both admission wait and the post-admission wait
+        for adapter transfers and the per-iteration prefill budget."""
+        if self.prefill_start_time is None or self.enqueue_time is None:
+            raise RuntimeError(f"request {self.request_id} never started prefill")
+        return self.prefill_start_time - self.enqueue_time
+
+    def token_gaps(self) -> list[float]:
+        """Inter-token gaps (the TBT samples), first token excluded."""
+        times = self.token_times
+        return [times[i] - times[i - 1] for i in range(1, len(times))]

@@ -1,0 +1,68 @@
+"""Shared fixtures: small adapter pools, tiny traces, wired systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adapters.registry import AdapterRegistry
+from repro.hardware.gpu import A40_48GB, GpuDevice
+from repro.hardware.pcie import PcieLink, PcieSpec
+from repro.llm.costmodel import CostModel
+from repro.llm.model import LLAMA_7B
+from repro.sim.rng import RngStreams
+from repro.sim.simulator import Simulator
+from repro.workload.trace import SPLITWISE_PROFILE, synthesize_trace
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def registry():
+    """20 adapters, 4 per rank in {8, 16, 32, 64, 128}."""
+    return AdapterRegistry.build(LLAMA_7B, 20)
+
+
+@pytest.fixture
+def big_registry():
+    return AdapterRegistry.build(LLAMA_7B, 100)
+
+
+@pytest.fixture
+def gpu():
+    return GpuDevice(A40_48GB)
+
+
+@pytest.fixture
+def link(sim):
+    return PcieLink(sim, PcieSpec())
+
+
+@pytest.fixture
+def cost_model():
+    return CostModel(LLAMA_7B, A40_48GB)
+
+
+@pytest.fixture
+def rng_streams():
+    return RngStreams(seed=1234)
+
+
+@pytest.fixture
+def tiny_trace(big_registry, rng_streams):
+    """A short, moderately-loaded trace for integration tests."""
+    return synthesize_trace(
+        SPLITWISE_PROFILE, rps=6.0, duration=30.0,
+        rng=rng_streams.get("trace"), registry=big_registry,
+    )
+
+
+@pytest.fixture
+def loaded_trace(big_registry, rng_streams):
+    """A heavier trace that exercises queueing and eviction."""
+    return synthesize_trace(
+        SPLITWISE_PROFILE, rps=10.0, duration=60.0,
+        rng=rng_streams.get("trace"), registry=big_registry,
+    )

@@ -1,0 +1,93 @@
+"""Tests for 1-D K-means, WCSS and the elbow K selection (§4.3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import choose_k_elbow, cluster_cutoffs, kmeans_1d, wcss
+
+
+def test_kmeans_separates_two_clear_clusters():
+    data = [1.0, 1.1, 0.9, 10.0, 10.2, 9.8]
+    centroids, labels = kmeans_1d(data, 2)
+    assert centroids[0] == pytest.approx(1.0, abs=0.2)
+    assert centroids[1] == pytest.approx(10.0, abs=0.3)
+    assert list(labels[:3]) == [0, 0, 0]
+    assert list(labels[3:]) == [1, 1, 1]
+
+
+def test_kmeans_k1_centroid_is_mean():
+    data = [1.0, 2.0, 3.0]
+    centroids, labels = kmeans_1d(data, 1)
+    assert centroids[0] == pytest.approx(2.0)
+    assert (labels == 0).all()
+
+
+def test_kmeans_centroids_sorted():
+    data = list(np.random.default_rng(0).uniform(0, 1, 200))
+    centroids, _ = kmeans_1d(data, 4)
+    assert (np.diff(centroids) >= 0).all()
+
+
+def test_kmeans_caps_k_at_distinct_values():
+    centroids, labels = kmeans_1d([5.0, 5.0, 5.0], 3)
+    assert centroids.size == 1
+
+
+def test_kmeans_validation():
+    with pytest.raises(ValueError):
+        kmeans_1d([], 2)
+    with pytest.raises(ValueError):
+        kmeans_1d([1.0], 0)
+
+
+def test_wcss_zero_for_perfect_fit():
+    data = [1.0, 1.0, 5.0, 5.0]
+    centroids, labels = kmeans_1d(data, 2)
+    assert wcss(data, centroids, labels) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_wcss_non_increasing_in_k():
+    data = list(np.random.default_rng(1).normal(0, 1, 300))
+    scores = []
+    for k in range(1, 5):
+        centroids, labels = kmeans_1d(data, k)
+        scores.append(wcss(data, centroids, labels))
+    assert all(a >= b - 1e-9 for a, b in zip(scores, scores[1:]))
+
+
+def test_elbow_picks_two_for_bimodal():
+    rng = np.random.default_rng(2)
+    data = np.concatenate([rng.normal(0.1, 0.01, 200), rng.normal(0.9, 0.01, 200)])
+    assert choose_k_elbow(data, k_max=4) == 2
+
+
+def test_elbow_picks_three_for_trimodal():
+    rng = np.random.default_rng(3)
+    data = np.concatenate([
+        rng.normal(0.1, 0.005, 200),
+        rng.normal(0.5, 0.005, 200),
+        rng.normal(0.9, 0.005, 200),
+    ])
+    assert choose_k_elbow(data, k_max=4) == 3
+
+
+def test_elbow_degenerate_cases():
+    assert choose_k_elbow([5.0, 5.0, 5.0], k_max=4) == 1
+    assert choose_k_elbow([1.0, 2.0], k_max=1) == 1
+    with pytest.raises(ValueError):
+        choose_k_elbow([], k_max=4)
+
+
+def test_elbow_never_exceeds_kmax():
+    rng = np.random.default_rng(4)
+    data = rng.uniform(0, 1, 500)
+    assert 1 <= choose_k_elbow(data, k_max=4) <= 4
+
+
+def test_cutoffs_are_midpoints():
+    cutoffs = cluster_cutoffs(np.array([1.0, 3.0, 9.0]))
+    assert cutoffs == [2.0, 6.0]
+
+
+def test_cutoffs_single_centroid_empty():
+    assert cluster_cutoffs(np.array([4.0])) == []

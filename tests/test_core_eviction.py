@@ -1,0 +1,149 @@
+"""Tests for the cache eviction policies (§4.2.2, §5.3.3)."""
+
+import pytest
+
+from repro.core.eviction import (
+    ChameleonScorePolicy,
+    FairSharePolicy,
+    GdsfPolicy,
+    LruPolicy,
+    make_policy,
+)
+from repro.serving.adapter_manager import AdapterEntry
+
+MB = 1024 * 1024
+
+
+def _entry(aid, rank, size_mb, last_used=0.0, uses=0, use_times=None):
+    entry = AdapterEntry(adapter_id=aid, rank=rank, size_bytes=size_mb * MB)
+    times = use_times if use_times is not None else [last_used] * max(1, uses)
+    for t in times if uses or use_times else []:
+        entry.record_use(t)
+    if entry.last_used == float("-inf"):
+        entry.last_used = last_used
+    return entry
+
+
+def test_chameleon_evicts_small_cold_first():
+    """Small + cold + unpopular scores lowest; big + hot + popular survives."""
+    cold_small = _entry(0, 8, 16, last_used=0.0, uses=1)
+    hot_big = _entry(1, 128, 256, last_used=99.0, uses=20, use_times=[99.0] * 20)
+    order = ChameleonScorePolicy().order([hot_big, cold_small], now=100.0)
+    assert order[0] is cold_small
+
+
+def test_chameleon_size_term_protects_large_adapters():
+    """§4.2.2: larger adapters are costlier to reload, evict smaller first."""
+    small = _entry(0, 8, 16, last_used=50.0, uses=3, use_times=[50.0] * 3)
+    large = _entry(1, 128, 256, last_used=50.0, uses=3, use_times=[50.0] * 3)
+    order = ChameleonScorePolicy().order([large, small], now=60.0)
+    assert order[0] is small
+
+
+def test_chameleon_frequency_term():
+    popular = _entry(0, 32, 64, uses=30, use_times=[40.0] * 30)
+    unpopular = _entry(1, 32, 64, uses=1, use_times=[40.0])
+    order = ChameleonScorePolicy().order([popular, unpopular], now=50.0)
+    assert order[0] is unpopular
+
+
+def test_chameleon_recency_term():
+    recent = _entry(0, 32, 64, use_times=[99.0])
+    stale = _entry(1, 32, 64, use_times=[1.0])
+    order = ChameleonScorePolicy().order([recent, stale], now=100.0)
+    assert order[0] is stale
+
+
+def test_chameleon_weights_sum_close_to_one():
+    p = ChameleonScorePolicy()
+    assert p.f_weight + p.r_weight + p.s_weight == pytest.approx(1.0)
+    assert (p.f_weight, p.r_weight, p.s_weight) == (0.45, 0.10, 0.45)
+
+
+def test_fairshare_equal_weights():
+    p = FairSharePolicy()
+    assert p.f_weight == pytest.approx(1 / 3)
+    assert p.name == "fairshare"
+
+
+def test_fairshare_differs_from_chameleon():
+    """FairShare weights recency 3.3x more than the tuned policy, so a
+    fresh-but-small-and-rarer adapter can outrank a stale large one."""
+    fresh_small = _entry(0, 8, 205)
+    fresh_small.frequency = 0.8
+    fresh_small._freq_updated = 100.0
+    fresh_small.last_used = 100.0          # recency ~ 1
+    stale_large = _entry(1, 128, 256)
+    stale_large.frequency = 1.0
+    stale_large._freq_updated = 100.0
+    stale_large.last_used = -1000.0        # recency ~ 0
+    fair = FairSharePolicy().order([fresh_small, stale_large], now=100.0)
+    cham = ChameleonScorePolicy().order([fresh_small, stale_large], now=100.0)
+    assert fair[0] is stale_large          # recency dominates FairShare
+    assert cham[0] is fresh_small          # cost-aware weights evict the small one
+
+
+def test_lru_orders_by_last_used():
+    a = _entry(0, 8, 16, use_times=[5.0])
+    b = _entry(1, 8, 16, use_times=[1.0])
+    c = _entry(2, 8, 16, use_times=[9.0])
+    order = LruPolicy().order([a, b, c], now=10.0)
+    assert [e.adapter_id for e in order] == [1, 0, 2]
+
+
+def test_gdsf_prefers_evicting_low_frequency():
+    policy = GdsfPolicy(link_bandwidth=10 * 1024 ** 3)
+    rare = _entry(0, 32, 64, uses=1, use_times=[50.0])
+    popular = _entry(1, 32, 64, uses=25, use_times=[50.0] * 25)
+    policy.on_access(rare, 50.0)
+    policy.on_access(popular, 50.0)
+    order = policy.order([popular, rare], now=50.0)
+    assert order[0] is rare
+
+
+def test_gdsf_aggressively_evicts_large_moderate_frequency():
+    """The §5.3.3 critique: cost/size ~ constant, so a large adapter with
+    moderate frequency loses to a small one with the same frequency."""
+    policy = GdsfPolicy(link_bandwidth=10 * 1024 ** 3)
+    large = _entry(0, 128, 256, uses=3, use_times=[50.0] * 3)
+    small = _entry(1, 8, 16, uses=3, use_times=[50.0] * 3)
+    policy.on_access(large, 50.0)
+    policy.on_access(small, 50.0)
+    order = policy.order([large, small], now=50.0)
+    assert order[0] is large
+
+
+def test_gdsf_inflation_ages_out_old_entries():
+    policy = GdsfPolicy(link_bandwidth=10 * 1024 ** 3)
+    victim = _entry(0, 32, 64, uses=2, use_times=[10.0] * 2)
+    policy.on_access(victim, 10.0)
+    policy.on_evict(victim)
+    assert policy.inflation > 0.0
+    # A new entry accessed after the eviction starts above the old scores.
+    newcomer = _entry(1, 32, 64, uses=1, use_times=[20.0])
+    policy.on_access(newcomer, 20.0)
+    assert newcomer.gdsf_h > victim.gdsf_h - policy.inflation
+
+
+def test_make_policy_factory():
+    assert isinstance(make_policy("chameleon"), ChameleonScorePolicy)
+    assert isinstance(make_policy("fairshare"), FairSharePolicy)
+    assert isinstance(make_policy("lru"), LruPolicy)
+    assert isinstance(make_policy("gdsf", link_bandwidth=1e9), GdsfPolicy)
+    with pytest.raises(ValueError):
+        make_policy("gdsf")
+    with pytest.raises(ValueError):
+        make_policy("bogus")
+
+
+def test_order_empty_candidates():
+    assert ChameleonScorePolicy().order([], now=0.0) == []
+
+
+def test_decayed_frequency_halves_at_half_life():
+    from repro.serving.adapter_manager import FREQUENCY_HALF_LIFE
+
+    entry = _entry(0, 8, 16)
+    entry.record_use(0.0)
+    assert entry.decayed_frequency(0.0) == pytest.approx(1.0)
+    assert entry.decayed_frequency(FREQUENCY_HALF_LIFE) == pytest.approx(0.5)

@@ -1,0 +1,68 @@
+"""Tests for the M/M/1 per-queue quota solver (§4.3.5)."""
+
+import pytest
+
+from repro.core.quotas import QueueStats, solve_quotas
+
+
+def test_min_tokens_formula():
+    q = QueueStats(max_request_tokens=1000, expected_duration=2.0, arrival_rate=3.0)
+    # S*D*(1/SLO + lambda) = 1000*2*(0.2+3) = 6400
+    assert q.min_tokens(slo=5.0) == pytest.approx(6400.0)
+
+
+def test_min_tokens_floored_at_s():
+    """A quota below one max-size request would deadlock the lane."""
+    q = QueueStats(max_request_tokens=1000, expected_duration=0.001, arrival_rate=0.0)
+    assert q.min_tokens(slo=100.0) == pytest.approx(1000.0)
+
+
+def test_min_tokens_grows_with_arrival_rate():
+    lo = QueueStats(100, 1.0, 1.0).min_tokens(5.0)
+    hi = QueueStats(100, 1.0, 10.0).min_tokens(5.0)
+    assert hi > lo
+
+
+def test_min_tokens_grows_with_tighter_slo():
+    loose = QueueStats(100, 1.0, 1.0).min_tokens(slo=10.0)
+    tight = QueueStats(100, 1.0, 1.0).min_tokens(slo=0.5)
+    assert tight > loose
+
+
+def test_invalid_slo_rejected():
+    with pytest.raises(ValueError):
+        QueueStats(100, 1.0, 1.0).min_tokens(slo=0.0)
+
+
+def test_quotas_exhaust_total():
+    stats = [QueueStats(100, 0.5, 5.0), QueueStats(1000, 2.0, 1.0)]
+    quotas = solve_quotas(stats, total_tokens=50_000, slo=5.0)
+    assert sum(quotas) == pytest.approx(50_000)
+
+
+def test_quotas_cover_minima_when_provisioned():
+    stats = [QueueStats(100, 0.5, 5.0), QueueStats(1000, 2.0, 1.0)]
+    quotas = solve_quotas(stats, total_tokens=50_000, slo=5.0)
+    for quota, stat in zip(quotas, stats):
+        assert quota >= stat.min_tokens(5.0)
+
+
+def test_surplus_split_proportional_to_minima():
+    stats = [QueueStats(100, 1.0, 1.0), QueueStats(200, 1.0, 1.0)]
+    minima = [s.min_tokens(5.0) for s in stats]
+    quotas = solve_quotas(stats, total_tokens=10_000, slo=5.0)
+    assert quotas[0] / quotas[1] == pytest.approx(minima[0] / minima[1])
+
+
+def test_oversubscription_scales_down_proportionally():
+    stats = [QueueStats(10_000, 5.0, 10.0), QueueStats(20_000, 5.0, 10.0)]
+    quotas = solve_quotas(stats, total_tokens=1000, slo=1.0)
+    assert sum(quotas) == pytest.approx(1000)
+    assert quotas[1] / quotas[0] == pytest.approx(2.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        solve_quotas([], total_tokens=100, slo=1.0)
+    with pytest.raises(ValueError):
+        solve_quotas([QueueStats(1, 1, 1)], total_tokens=0, slo=1.0)

@@ -1,0 +1,56 @@
+"""Tests for the offline eviction-weight profiler (§4.2.2)."""
+
+import pytest
+
+from repro.core.tuning import profile_eviction_weights, simplex_grid
+from repro.workload.trace import SPLITWISE_PROFILE, synthesize_trace
+
+
+def test_simplex_grid_step_half():
+    points = simplex_grid(0.5)
+    assert len(points) == 6
+    for f, r, s in points:
+        assert f + r + s == pytest.approx(1.0)
+        assert min(f, r, s) >= 0.0
+
+
+def test_simplex_grid_counts():
+    # step 0.25 -> n=4 -> (n+1)(n+2)/2 = 15 points.
+    assert len(simplex_grid(0.25)) == 15
+
+
+def test_simplex_grid_validates():
+    with pytest.raises(ValueError):
+        simplex_grid(0.0)
+    with pytest.raises(ValueError):
+        simplex_grid(1.5)
+
+
+def test_profile_returns_best_of_candidates(big_registry, rng_streams):
+    trace = synthesize_trace(SPLITWISE_PROFILE, rps=6.0, duration=20.0,
+                             rng=rng_streams.get("trace"), registry=big_registry)
+    result = profile_eviction_weights(
+        trace, big_registry,
+        candidates=[(1.0, 0.0, 0.0), (0.0, 1.0, 0.0), (0.45, 0.10, 0.45)],
+        warmup=5.0,
+    )
+    assert len(result.candidates) == 3
+    best_latency = min(c.p99_ttft for c in result.candidates)
+    assert result.best.p99_ttft == best_latency
+    assert result.weights in [c.weights for c in result.candidates]
+
+
+def test_profile_rejects_empty_candidates(big_registry, rng_streams):
+    trace = synthesize_trace(SPLITWISE_PROFILE, rps=4.0, duration=10.0,
+                             rng=rng_streams.get("trace"), registry=big_registry)
+    with pytest.raises(ValueError):
+        profile_eviction_weights(trace, big_registry, candidates=[])
+
+
+def test_profile_candidates_record_hit_rates(big_registry, rng_streams):
+    trace = synthesize_trace(SPLITWISE_PROFILE, rps=6.0, duration=20.0,
+                             rng=rng_streams.get("trace"), registry=big_registry)
+    result = profile_eviction_weights(
+        trace, big_registry, candidates=[(0.45, 0.10, 0.45)], warmup=0.0)
+    assert 0.0 <= result.best.hit_rate <= 1.0
+    assert result.best.mean_ttft > 0.0

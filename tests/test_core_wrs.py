@@ -1,0 +1,105 @@
+"""Tests for the Weighted Request Size formula (§4.3.1)."""
+
+import pytest
+
+from repro.core.wrs import WorkloadBounds, WrsParams, compute_wrs, max_possible_wrs
+
+BOUNDS = WorkloadBounds(max_input_tokens=1000, max_output_tokens=500,
+                        max_adapter_bytes=1000)
+
+
+def test_formula_value():
+    # (0.4 * 0.5 + 0.6 * 0.2) * 0.5 = 0.16
+    wrs = compute_wrs(500, 100, 500, BOUNDS)
+    assert wrs == pytest.approx((0.4 * 0.5 + 0.6 * 0.2) * 0.5)
+
+
+def test_maximal_request_hits_bound():
+    wrs = compute_wrs(1000, 500, 1000, BOUNDS)
+    assert wrs == pytest.approx(1.0)
+    assert wrs == pytest.approx(max_possible_wrs())
+
+
+def test_monotone_in_each_knob():
+    base = compute_wrs(500, 100, 500, BOUNDS)
+    assert compute_wrs(800, 100, 500, BOUNDS) > base
+    assert compute_wrs(500, 300, 500, BOUNDS) > base
+    assert compute_wrs(500, 100, 900, BOUNDS) > base
+
+
+def test_adapter_size_multiplies():
+    """The degree-2 polynomial: adapter size scales the whole length term."""
+    small = compute_wrs(500, 100, 100, BOUNDS)
+    large = compute_wrs(500, 100, 800, BOUNDS)
+    assert large == pytest.approx(8 * small)
+
+
+def test_output_weighted_more_than_input():
+    """B (0.6) > A (0.4): output dominates the size estimate."""
+    more_output = compute_wrs(100, 500, 500, BOUNDS)
+    more_input = compute_wrs(1000, 50, 500, BOUNDS)
+    assert more_output > more_input
+
+
+def test_base_request_uses_floor_factor():
+    params = WrsParams()
+    wrs = compute_wrs(500, 100, None, BOUNDS, params)
+    expected = (0.4 * 0.5 + 0.6 * 0.2) * params.base_adapter_factor
+    assert wrs == pytest.approx(expected)
+
+
+def test_values_clamped_at_bounds():
+    over = compute_wrs(5000, 9999, 5000, BOUNDS)
+    assert over == pytest.approx(1.0)
+
+
+def test_output_only_mode():
+    params = WrsParams(mode="output_only")
+    assert compute_wrs(1000, 250, 1000, BOUNDS, params) == pytest.approx(0.5)
+    assert max_possible_wrs(params) == 1.0
+    # Input and adapter are ignored.
+    assert compute_wrs(1, 250, 1, BOUNDS, params) == compute_wrs(1000, 250, 1000, BOUNDS, params)
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        WrsParams(mode="bogus")
+
+
+def test_invalid_bounds_rejected():
+    with pytest.raises(ValueError):
+        WorkloadBounds(0, 10, 10)
+    with pytest.raises(ValueError):
+        WorkloadBounds(10, 10, 0)
+
+
+def test_linear_mode_adds_adapter_term():
+    params = WrsParams(mode="linear")
+    wrs = compute_wrs(500, 100, 500, BOUNDS, params)
+    expected = (0.4 * 0.5 + 0.6 * 0.2 + 0.5 * 0.5) / 1.5
+    assert wrs == pytest.approx(expected)
+
+
+def test_linear_mode_nonzero_for_zero_length_term():
+    """Unlike the degree-2 product, the linear form keeps adapter-only mass."""
+    params = WrsParams(mode="linear")
+    tiny_lengths = compute_wrs(1, 1, 1000, BOUNDS, params)
+    assert tiny_lengths > 0.3  # the adapter term alone carries weight
+
+
+def test_linear_max_possible():
+    params = WrsParams(mode="linear")
+    top = compute_wrs(1000, 500, 1000, BOUNDS, params)
+    assert top == pytest.approx(max_possible_wrs(params))
+
+
+def test_linear_vs_degree2_disagree_on_ordering():
+    """The degree-2 form couples adapter size with length; the linear form
+    does not — a big-adapter/short request can outrank a small-adapter/long
+    request only under the linear form."""
+    params2 = WrsParams(mode="chameleon")
+    params1 = WrsParams(mode="linear")
+    short_big = (50, 20, 1000)     # short lengths, max adapter
+    long_small = (450, 200, 120)   # longer lengths, small adapter
+    assert compute_wrs(*short_big, BOUNDS, params2) < compute_wrs(*long_small, BOUNDS, params2)
+    assert compute_wrs(*short_big, BOUNDS, params1) > compute_wrs(*long_small, BOUNDS, params1)

@@ -1,0 +1,119 @@
+"""Tests for the experiment harness (tiny-scale runs of every figure)."""
+
+import pytest
+
+from repro.experiments import ExperimentResult, get_experiment, list_experiments
+from repro.experiments.common import ExperimentResult as CommonResult
+from repro.experiments.common import standard_registry, standard_trace, trace_slo
+
+
+def test_registry_covers_all_figures():
+    expected = {f"fig{n:02d}" for n in (2, 3, 4, 5, 6, 7, 8)} | {
+        f"fig{n}" for n in range(11, 26)} | {
+        "abl_wrs_degree", "abl_eviction_weights", "abl_gdsf",
+        "abl_load_stall", "abl_dp_dispatch"}
+    assert set(list_experiments()) == expected
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        get_experiment("fig99")
+
+
+def test_result_table_rendering():
+    result = ExperimentResult(
+        experiment="demo", description="demo rows",
+        rows=[{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}],
+        notes=["hello"],
+    )
+    table = result.to_table()
+    assert "demo rows" in table
+    assert "hello" in table
+    assert "0.125" in table
+    assert result.column("a") == [1, 10]
+
+
+def test_result_table_empty():
+    result = ExperimentResult("demo", "x", rows=[])
+    assert "no rows" in result.to_table()
+
+
+def test_trace_slo_is_positive_and_scales():
+    registry = standard_registry(n_adapters=20)
+    trace = standard_trace(rps=4.0, duration=20.0, registry=registry, seed=2)
+    slo5 = trace_slo(trace, registry, multiplier=5.0)
+    slo10 = trace_slo(trace, registry, multiplier=10.0)
+    assert slo5 > 0
+    assert slo10 == pytest.approx(2 * slo5)
+
+
+# ----------------------------------------------------------------------- #
+# Analytic experiments run at full scale (they are instant).
+# ----------------------------------------------------------------------- #
+def test_fig02_matches_paper():
+    result = get_experiment("fig02")()
+    for row in result.rows:
+        assert row["ttft_ms"] == pytest.approx(row["paper_ttft_ms"], rel=0.03)
+
+
+def test_fig03_rank_ordering():
+    result = get_experiment("fig03")()
+    for row in result.rows:
+        ranks = [row[f"ttft_r{r}_s"] for r in (8, 16, 32, 64, 128)]
+        assert ranks == sorted(ranks)
+
+
+def test_fig05_monotone_in_tp():
+    result = get_experiment("fig05")()
+    for row in result.rows:
+        assert row["load_share_tp2"] < row["load_share_tp4"] < row["load_share_tp8"]
+
+
+def test_fig07_lora_dominates_base():
+    result = get_experiment("fig07")(n_requests=200)
+    for row in result.rows:
+        assert row["lora_e2e_s"] > row["base_e2e_s"]
+
+
+# ----------------------------------------------------------------------- #
+# Simulation experiments at miniature scale: structure and sanity only.
+# ----------------------------------------------------------------------- #
+def test_fig06_timeline_structure():
+    result = get_experiment("fig06")(duration=30.0, sample_interval=2.0)
+    assert len(result.rows) >= 5
+    for row in result.rows:
+        assert 0 <= row["idle_gb"] <= row["capacity_gb"]
+
+
+def test_fig11_structure():
+    result = get_experiment("fig11")(
+        loads=(6.0, 10.0), duration=40.0, warmup=5.0,
+        systems=("slora", "chameleon"))
+    assert len(result.rows) == 2
+    for row in result.rows:
+        assert row["slora_p99_s"] > 0
+        assert row["chameleon_p99_s"] > 0
+    assert isinstance(result, CommonResult)
+
+
+def test_fig14_structure():
+    result = get_experiment("fig14")(rps=8.0, duration=40.0, warmup=5.0)
+    rows = {row["preset"]: row for row in result.rows}
+    assert 0.0 <= rows["chameleon"]["zero_load_share"] <= 1.0
+    assert rows["chameleon"]["zero_load_share"] >= rows["slora"]["zero_load_share"]
+
+
+def test_fig19_structure():
+    result = get_experiment("fig19")(
+        rps=7.0, duration=40.0, accuracies=(1.0, 0.6), warmup=5.0)
+    assert len(result.rows) == 4
+    oracle_rows = [row for row in result.rows if row["accuracy"] == 1.0]
+    assert all(row["observed_accuracy"] == 1.0 for row in oracle_rows)
+
+
+def test_fig22_structure():
+    result = get_experiment("fig22")(
+        duration=40.0, warmup=5.0, loads={"low": 5.0, "high": 10.0})
+    assert {row["load"] for row in result.rows} == {"low", "high"}
+    for row in result.rows:
+        assert row["chameleon_norm"] > 0

@@ -1,0 +1,63 @@
+"""Tests for the markdown report generator."""
+
+import json
+
+from repro.cli import main
+from repro.experiments.common import ExperimentResult
+from repro.experiments.report import render_markdown, report_from_json
+
+
+def _result():
+    return ExperimentResult(
+        experiment="fig99",
+        description="demo experiment",
+        rows=[{"rps": 5.0, "p99_s": 1.25}, {"rps": 9.0, "p99_s": 4.0}],
+        params={"duration": 60.0},
+        notes=["a note"],
+    )
+
+
+def test_render_markdown_structure():
+    doc = render_markdown([_result()], title="Demo")
+    assert doc.startswith("# Demo")
+    assert "## fig99" in doc
+    assert "demo experiment" in doc
+    assert "| rps | p99_s |" in doc
+    assert "| 5 | 1.25 |" in doc
+    assert "> a note" in doc
+    assert "duration=60.0" in doc
+
+
+def test_render_heterogeneous_rows():
+    result = ExperimentResult(
+        "x", "mixed", rows=[{"a": 1}, {"b": 2.5}],
+    )
+    doc = render_markdown([result])
+    assert "| a | b |" in doc
+    assert "| 1 |  |" in doc
+    assert "|  | 2.5 |" in doc
+
+
+def test_report_from_json_roundtrip(tmp_path):
+    result = _result()
+    payload = [{
+        "experiment": result.experiment,
+        "description": result.description,
+        "params": result.params,
+        "rows": result.rows,
+        "notes": result.notes,
+    }]
+    path = tmp_path / "results.json"
+    path.write_text(json.dumps(payload))
+    doc = report_from_json(path, title="Round trip")
+    assert "# Round trip" in doc
+    assert "## fig99" in doc
+
+
+def test_cli_json_feeds_report(tmp_path, capsys):
+    path = tmp_path / "out.json"
+    assert main(["fig02", "--json", str(path)]) == 0
+    capsys.readouterr()
+    doc = report_from_json(path)
+    assert "## fig02" in doc
+    assert "| rank |" in doc

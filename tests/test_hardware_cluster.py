@@ -1,0 +1,114 @@
+"""Tests for tensor-parallel groups and the data-parallel dispatcher."""
+
+import pytest
+
+from repro.hardware.cluster import DataParallelCluster, TensorParallelGroup
+from repro.hardware.gpu import A100_80GB, GB
+from repro.hardware.pcie import PcieLink, PcieSpec
+from repro.sim.simulator import Simulator
+
+
+def test_tp_group_aggregates_memory():
+    group = TensorParallelGroup(A100_80GB, tp_degree=4)
+    assert group.capacity == 4 * 80 * GB
+
+
+def test_tp_compute_speedup_sublinear():
+    tp2 = TensorParallelGroup(A100_80GB, 2)
+    tp4 = TensorParallelGroup(A100_80GB, 4)
+    assert 1.0 < tp2.compute_speedup < 2.0
+    assert tp2.compute_speedup < tp4.compute_speedup < 4.0
+
+
+def test_tp1_is_identity():
+    tp1 = TensorParallelGroup(A100_80GB, 1)
+    assert tp1.compute_speedup == 1.0
+
+
+def test_invalid_tp_degree():
+    with pytest.raises(ValueError):
+        TensorParallelGroup(A100_80GB, 0)
+
+
+def test_tp_adapter_load_time_grows_with_degree():
+    """Figure 5's mechanism: sharded loads pay per-shard sync overheads."""
+    sim = Simulator()
+    link = PcieLink(sim, PcieSpec())
+    times = [
+        TensorParallelGroup(A100_80GB, tp).adapter_load_time(link, 256 * 1024 * 1024)
+        for tp in (1, 2, 4, 8)
+    ]
+    assert times == sorted(times)
+    assert times[-1] > times[0]
+
+
+def test_tp_sharded_load_through_link():
+    sim = Simulator()
+    link = PcieLink(sim, PcieSpec())
+    group = TensorParallelGroup(A100_80GB, 4)
+    done = []
+    group.submit_adapter_load(link, 256 * 1024 * 1024, callback=lambda x: done.append(sim.now))
+    sim.run()
+    assert done[0] == pytest.approx(group.adapter_load_time(link, 256 * 1024 * 1024), rel=0.05)
+
+
+class _FakeEngine:
+    def __init__(self, load, resident=()):
+        self._load = load
+        self.submitted = []
+        self.adapter_manager = self
+
+    def in_flight_count(self):
+        return self._load
+
+    def is_resident(self, adapter_id):
+        return False
+
+    def submit(self, request):
+        self.submitted.append(request)
+
+
+class _FakeRequest:
+    def __init__(self, adapter_id=None):
+        self.adapter_id = adapter_id
+
+
+def test_dp_least_loaded_picks_min():
+    engines = [_FakeEngine(5), _FakeEngine(2), _FakeEngine(9)]
+    cluster = DataParallelCluster(engines, policy="least_loaded")
+    assert cluster.dispatch(_FakeRequest()) == 1
+    assert engines[1].submitted
+
+
+def test_dp_round_robin_cycles():
+    engines = [_FakeEngine(0), _FakeEngine(0), _FakeEngine(0)]
+    cluster = DataParallelCluster(engines, policy="round_robin")
+    picks = [cluster.dispatch(_FakeRequest()) for _ in range(6)]
+    assert picks == [0, 1, 2, 0, 1, 2]
+
+
+def test_dp_adapter_affinity_falls_back_to_jsq():
+    engines = [_FakeEngine(5), _FakeEngine(2)]
+    cluster = DataParallelCluster(engines, policy="adapter_affinity")
+    assert cluster.dispatch(_FakeRequest(adapter_id=3)) == 1
+
+
+def test_dp_adapter_affinity_prefers_resident():
+    class _Resident(_FakeEngine):
+        def is_resident(self, adapter_id):
+            return True
+
+    engines = [_Resident(9), _FakeEngine(0)]
+    cluster = DataParallelCluster(engines, policy="adapter_affinity")
+    # Engine 0 has the adapter resident, so it wins despite higher load.
+    assert cluster.dispatch(_FakeRequest(adapter_id=3)) == 0
+
+
+def test_dp_rejects_unknown_policy():
+    with pytest.raises(ValueError):
+        DataParallelCluster([_FakeEngine(0)], policy="random")
+
+
+def test_dp_rejects_empty_cluster():
+    with pytest.raises(ValueError):
+        DataParallelCluster([], policy="least_loaded")

@@ -1,0 +1,111 @@
+"""Tests for the GPU memory accountant."""
+
+import pytest
+
+from repro.hardware.gpu import (
+    A40_48GB,
+    A100_24GB,
+    A100_80GB,
+    GB,
+    GPU_ZOO,
+    GpuDevice,
+    MemoryExhausted,
+)
+
+
+def test_capacity_defaults_to_spec():
+    assert GpuDevice(A40_48GB).capacity == 48 * GB
+
+
+def test_capacity_override():
+    dev = GpuDevice(A100_80GB, memory_bytes=24 * GB)
+    assert dev.capacity == 24 * GB
+
+
+def test_reserve_and_release_roundtrip():
+    dev = GpuDevice(A40_48GB)
+    dev.reserve("kv", 10 * GB)
+    assert dev.used("kv") == 10 * GB
+    assert dev.free_bytes == 38 * GB
+    dev.release("kv", 10 * GB)
+    assert dev.used("kv") == 0
+    assert dev.free_bytes == 48 * GB
+
+
+def test_reserve_over_capacity_raises():
+    dev = GpuDevice(A100_24GB)
+    with pytest.raises(MemoryExhausted):
+        dev.reserve("kv", 25 * GB)
+    # A failed reserve must not change the accounting.
+    assert dev.used_bytes == 0
+
+
+def test_release_more_than_held_raises():
+    dev = GpuDevice(A40_48GB)
+    dev.reserve("kv", GB)
+    with pytest.raises(ValueError):
+        dev.release("kv", 2 * GB)
+
+
+def test_negative_amounts_rejected():
+    dev = GpuDevice(A40_48GB)
+    with pytest.raises(ValueError):
+        dev.reserve("kv", -1)
+    with pytest.raises(ValueError):
+        dev.release("kv", -1)
+
+
+def test_move_keeps_total_constant():
+    dev = GpuDevice(A40_48GB)
+    dev.reserve("adapter", 3 * GB)
+    total_before = dev.used_bytes
+    dev.move("adapter", "adapter_cache", 3 * GB)
+    assert dev.used_bytes == total_before
+    assert dev.used("adapter") == 0
+    assert dev.used("adapter_cache") == 3 * GB
+
+
+def test_move_more_than_held_raises():
+    dev = GpuDevice(A40_48GB)
+    dev.reserve("adapter", GB)
+    with pytest.raises(ValueError):
+        dev.move("adapter", "adapter_cache", 2 * GB)
+
+
+def test_can_fit():
+    dev = GpuDevice(A100_24GB)
+    assert dev.can_fit(24 * GB)
+    dev.reserve("weights", 14 * GB)
+    assert dev.can_fit(10 * GB)
+    assert not dev.can_fit(10 * GB + 1)
+
+
+def test_exact_fill_to_capacity():
+    dev = GpuDevice(A100_24GB)
+    dev.reserve("kv", 24 * GB)
+    assert dev.free_bytes == 0
+    with pytest.raises(MemoryExhausted):
+        dev.reserve("kv", 1)
+
+
+def test_telemetry_sampling_respects_interval():
+    dev = GpuDevice(A40_48GB)
+    dev.enable_telemetry(interval=1.0)
+    dev.reserve("kv", GB)
+    dev.maybe_sample(0.0)
+    dev.maybe_sample(0.5)   # inside the interval: skipped
+    dev.maybe_sample(1.5)
+    assert len(dev.samples) == 2
+    assert dev.samples[0].usage["kv"] == GB
+    assert dev.samples[0].total == GB
+
+
+def test_telemetry_disabled_by_default():
+    dev = GpuDevice(A40_48GB)
+    dev.maybe_sample(0.0)
+    assert dev.samples == []
+
+
+def test_gpu_zoo_presets():
+    assert set(GPU_ZOO) == {"a40-48gb", "a100-80gb", "a100-48gb", "a100-24gb"}
+    assert GPU_ZOO["a100-80gb"].memory_bytes == 80 * GB

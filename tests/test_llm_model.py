@@ -1,0 +1,75 @@
+"""Tests for base-model geometry: the byte-level facts the paper quotes."""
+
+import pytest
+
+from repro.llm.model import (
+    LLAMA_7B,
+    LLAMA_13B,
+    LLAMA_30B,
+    LLAMA_70B,
+    MB,
+    MODEL_ZOO,
+    ModelSpec,
+)
+
+
+def test_rank32_adapter_is_64mb_on_7b():
+    """§3.2: 'a rank 32 adapter for Llama-7B is 64 MB'."""
+    assert LLAMA_7B.adapter_bytes(32) == 64 * MB
+
+
+def test_adapter_bytes_linear_in_rank():
+    assert LLAMA_7B.adapter_bytes(64) == 2 * LLAMA_7B.adapter_bytes(32)
+    assert LLAMA_7B.adapter_bytes(128) == 4 * LLAMA_7B.adapter_bytes(32)
+
+
+def test_70b_adapter_much_larger_than_7b():
+    """§3.2: the same-rank adapter grows with the base model (to ~hundreds of MB)."""
+    small = LLAMA_7B.adapter_bytes(32)
+    big = LLAMA_70B.adapter_bytes(32)
+    assert big > 3 * small
+    assert big >= 256 * MB  # paper: "grows to 256 MB"
+
+
+def test_rank128_adapter_order_of_gbs_on_70b():
+    """§3.2: 'Rank 128 adapter size grows to the order of GBs' for 70B."""
+    assert LLAMA_70B.adapter_bytes(128) >= 1024 * MB
+
+
+def test_kv_bytes_per_token_7b():
+    # 2 (K,V) * 32 layers * 4096 hidden * 2 bytes = 512 KB per token.
+    assert LLAMA_7B.kv_bytes_per_token == 512 * 1024
+
+
+def test_weight_bytes_fp16():
+    assert LLAMA_7B.weight_bytes == LLAMA_7B.n_params * 2
+
+
+def test_flops_per_token_is_2n():
+    assert LLAMA_7B.flops_per_token() == 2.0 * LLAMA_7B.n_params
+
+
+def test_model_zoo_contains_all_llamas():
+    assert set(MODEL_ZOO) == {"llama-7b", "llama-13b", "llama-30b", "llama-70b"}
+    assert MODEL_ZOO["llama-13b"] is LLAMA_13B
+
+
+def test_models_monotone_in_size():
+    models = [LLAMA_7B, LLAMA_13B, LLAMA_30B, LLAMA_70B]
+    for smaller, larger in zip(models, models[1:]):
+        assert smaller.weight_bytes < larger.weight_bytes
+        assert smaller.kv_bytes_per_token < larger.kv_bytes_per_token
+        assert smaller.adapter_bytes(32) < larger.adapter_bytes(32)
+
+
+def test_invalid_rank_rejected():
+    with pytest.raises(ValueError):
+        LLAMA_7B.adapter_bytes(0)
+    with pytest.raises(ValueError):
+        LLAMA_7B.adapter_bytes(-8)
+
+
+def test_custom_model_spec():
+    tiny = ModelSpec(name="tiny", n_params=1_000_000, n_layers=2, hidden_size=64)
+    assert tiny.weight_bytes == 2_000_000
+    assert tiny.kv_bytes_per_token == 2 * 2 * 64 * 2

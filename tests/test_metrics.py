@@ -1,0 +1,147 @@
+"""Tests for latency summaries, CDFs, slowdown, SLO and throughput search."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hardware.gpu import A40_48GB
+from repro.llm.costmodel import CostModel
+from repro.llm.model import LLAMA_7B
+from repro.metrics.summary import (
+    cdf_points,
+    compute_slo,
+    percentile,
+    slowdowns,
+    summarize_run,
+    throughput_under_slo,
+    windowed_p99_ttft,
+)
+from repro.workload.request import Request, RequestState
+
+
+def _finished(rid, arrival, ttft, e2e, tokens=(0.0,)):
+    r = Request(request_id=rid, arrival_time=arrival, input_tokens=10, output_tokens=5)
+    r.enqueue_time = arrival
+    r.admit_time = arrival + 0.01
+    r.first_token_time = arrival + ttft
+    r.finish_time = arrival + e2e
+    r.token_times = [arrival + t for t in tokens]
+    r.state = RequestState.FINISHED
+    return r
+
+
+def test_percentile_basics():
+    assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+    assert math.isnan(percentile([], 99))
+
+
+def test_summarize_run_counts_and_percentiles():
+    reqs = [_finished(i, float(i), ttft=0.1 * (i + 1), e2e=1.0) for i in range(10)]
+    s = summarize_run(reqs, duration=10.0)
+    assert s.n_requests == 10
+    assert s.p50_ttft == pytest.approx(percentile([0.1 * (i + 1) for i in range(10)], 50))
+    assert s.completed_rps == pytest.approx(1.0)
+
+
+def test_summarize_run_warmup_excludes_early():
+    reqs = [_finished(i, float(i), ttft=1.0, e2e=2.0) for i in range(10)]
+    s = summarize_run(reqs, warmup=5.0)
+    assert s.n_requests == 5
+
+
+def test_summarize_run_ignores_unfinished():
+    done = _finished(0, 0.0, 0.2, 1.0)
+    pending = Request(request_id=1, arrival_time=0.0, input_tokens=5, output_tokens=5)
+    s = summarize_run([done, pending])
+    assert s.n_requests == 1
+
+
+def test_summarize_empty():
+    s = summarize_run([])
+    assert s.n_requests == 0
+    assert math.isnan(s.p99_ttft)
+
+
+def test_slo_attainment():
+    reqs = [_finished(i, 0.0, ttft=t, e2e=1.0) for i, t in enumerate([0.1, 0.2, 5.0, 0.3])]
+    s = summarize_run(reqs, slo_ttft=1.0)
+    assert s.slo_attainment == pytest.approx(0.75)
+    assert s.meets_slo() is False
+
+
+def test_tbt_from_token_gaps():
+    reqs = [_finished(0, 0.0, 0.1, 1.0, tokens=[0.1, 0.2, 0.5])]
+    s = summarize_run(reqs)
+    assert s.p99_tbt == pytest.approx(np.percentile([0.1, 0.3], 99))
+
+
+def test_windowed_p99():
+    reqs = [_finished(i, arrival=float(i), ttft=float(i + 1), e2e=2.0) for i in range(10)]
+    series = windowed_p99_ttft(reqs, window=5.0, horizon=10.0)
+    assert len(series) == 2
+    (t1, p1), (t2, p2) = series
+    assert t1 == 5.0 and t2 == 10.0
+    assert p2 > p1
+
+
+def test_cdf_points_sorted_and_complete():
+    pts = cdf_points([3.0, 1.0, 2.0])
+    values = [v for v, _ in pts]
+    probs = [p for _, p in pts]
+    assert values == [1.0, 2.0, 3.0]
+    assert probs[-1] == pytest.approx(1.0)
+    assert cdf_points([]) == []
+
+
+def test_slowdowns_relative_to_isolated():
+    cm = CostModel(LLAMA_7B, A40_48GB)
+    iso = cm.isolated_request_time(10, 5)
+    r = _finished(0, 0.0, 0.1, e2e=3 * iso)
+    values = slowdowns([r], cm, rank_of=lambda r: None, load_time_of=lambda r: 0.0)
+    assert values[0] == pytest.approx(3.0, rel=1e-6)
+
+
+def test_compute_slo_is_multiple_of_mean_isolated():
+    cm = CostModel(LLAMA_7B, A40_48GB)
+    reqs = [Request(request_id=i, arrival_time=0.0, input_tokens=100, output_tokens=10)
+            for i in range(5)]
+    slo = compute_slo(reqs, cm, rank_of=lambda r: None, load_time_of=lambda r: 0.0,
+                      multiplier=5.0)
+    iso = cm.isolated_request_time(100, 10)
+    assert slo == pytest.approx(5.0 * iso)
+
+
+def test_compute_slo_empty_raises():
+    cm = CostModel(LLAMA_7B, A40_48GB)
+    with pytest.raises(ValueError):
+        compute_slo([], cm, rank_of=lambda r: None, load_time_of=lambda r: 0.0)
+
+
+def test_throughput_under_slo_interpolates():
+    loads = [5.0, 6.0, 7.0, 8.0]
+    p99 = [1.0, 2.0, 4.0, 8.0]
+    # SLO of 3.0 crossed between 6 (2.0) and 7 (4.0): midpoint 6.5.
+    assert throughput_under_slo(loads, p99, slo=3.0) == pytest.approx(6.5)
+
+
+def test_throughput_under_slo_never_violated():
+    assert throughput_under_slo([5, 6], [1.0, 1.5], slo=10.0) == 6
+
+
+def test_throughput_under_slo_always_violated():
+    assert throughput_under_slo([5, 6], [20.0, 30.0], slo=10.0) == 0.0
+
+
+def test_throughput_under_slo_handles_nan():
+    # The NaN point is skipped: interpolate between (5, 1.0) and (7, 20.0).
+    assert throughput_under_slo([5, 6, 7], [1.0, float("nan"), 20.0], slo=10.0) == pytest.approx(
+        5.0 + 2.0 * (10.0 - 1.0) / 19.0
+    )
+
+
+def test_throughput_under_slo_validates():
+    with pytest.raises(ValueError):
+        throughput_under_slo([], [], slo=1.0)
+    with pytest.raises(ValueError):
+        throughput_under_slo([1.0], [1.0, 2.0], slo=1.0)

@@ -1,0 +1,93 @@
+"""Tests for the windowed time-series metrics."""
+
+import pytest
+
+from repro.metrics.timeseries import (
+    batch_occupancy_series,
+    peak_concurrency,
+    windowed_goodput,
+    windowed_throughput,
+)
+from repro.workload.request import Request, RequestState
+
+
+def _finished(rid, admit, finish, ttft=0.1):
+    r = Request(request_id=rid, arrival_time=admit, input_tokens=10, output_tokens=2)
+    r.enqueue_time = admit
+    r.admit_time = admit
+    r.first_token_time = admit + ttft
+    r.finish_time = finish
+    r.state = RequestState.FINISHED
+    return r
+
+
+def test_windowed_throughput_counts_completions():
+    reqs = [_finished(i, 0.0, finish=float(i)) for i in range(1, 9)]
+    series = windowed_throughput(reqs, window=4.0, horizon=8.0)
+    assert len(series) == 2
+    # Finishes at 1,2,3 land in bin 0; 4..8 (boundary included right) in bin 1.
+    assert series[0].value == pytest.approx(3 / 4.0)
+    assert series[1].value == pytest.approx(5 / 4.0)
+
+
+def test_windowed_throughput_ignores_unfinished():
+    pending = Request(request_id=0, arrival_time=0.0, input_tokens=5, output_tokens=5)
+    series = windowed_throughput([pending], window=1.0, horizon=2.0)
+    assert all(p.value == 0.0 for p in series)
+
+
+def test_windowed_throughput_validates():
+    with pytest.raises(ValueError):
+        windowed_throughput([], window=0.0, horizon=1.0)
+
+
+def test_goodput_excludes_slo_violations():
+    good = _finished(0, 0.0, 1.0, ttft=0.1)
+    bad = _finished(1, 0.0, 1.5, ttft=9.0)
+    series = windowed_goodput([good, bad], window=2.0, horizon=2.0, slo_ttft=1.0)
+    assert series[0].value == pytest.approx(0.5)   # 1 request / 2 s
+
+
+def test_goodput_validates_slo():
+    with pytest.raises(ValueError):
+        windowed_goodput([], window=1.0, horizon=1.0, slo_ttft=0.0)
+
+
+def test_batch_occupancy_series_means():
+    samples = [(0.5, 4), (1.5, 8), (2.5, 6), (2.9, 10)]
+    series = batch_occupancy_series(samples, window=2.0, horizon=4.0)
+    assert series[0].value == pytest.approx(6.0)   # (4 + 8) / 2
+    assert series[1].value == pytest.approx(8.0)   # (6 + 10) / 2
+
+
+def test_batch_occupancy_empty_window_zero():
+    series = batch_occupancy_series([], window=1.0, horizon=2.0)
+    assert [p.value for p in series] == [0.0, 0.0]
+
+
+def test_peak_concurrency_overlaps():
+    reqs = [
+        _finished(0, admit=0.0, finish=10.0),
+        _finished(1, admit=1.0, finish=3.0),
+        _finished(2, admit=2.0, finish=4.0),
+        _finished(3, admit=5.0, finish=6.0),
+    ]
+    assert peak_concurrency(reqs) == 3
+
+
+def test_peak_concurrency_empty():
+    assert peak_concurrency([]) == 0
+
+
+def test_engine_records_occupancy_when_enabled(big_registry, rng_streams):
+    from repro.serving.engine import EngineConfig
+    from repro.systems import build_system
+    from repro.workload.trace import SPLITWISE_PROFILE, synthesize_trace
+
+    trace = synthesize_trace(SPLITWISE_PROFILE, rps=5.0, duration=10.0,
+                             rng=rng_streams.get("trace"), registry=big_registry)
+    system = build_system("slora", registry=big_registry,
+                          engine_config=EngineConfig(record_batch_occupancy=True))
+    system.run_trace(trace.fresh())
+    assert len(system.engine.batch_occupancy) == system.engine.stats.iterations
+    assert max(size for _, size in system.engine.batch_occupancy) >= 1

@@ -1,0 +1,179 @@
+"""Tests for the output-length predictor and the histogram load forecaster."""
+
+import numpy as np
+import pytest
+
+from repro.predictor.load_forecast import HistogramLoadPredictor
+from repro.predictor.output_length import OutputLengthPredictor
+from repro.sim.rng import RngStreams
+from repro.workload.request import Request
+
+
+def _req(output_tokens=100):
+    return Request(request_id=0, arrival_time=0.0, input_tokens=10,
+                   output_tokens=output_tokens)
+
+
+@pytest.fixture
+def rng():
+    return RngStreams(3).get("predictor")
+
+
+def test_oracle_accuracy_is_exact(rng):
+    predictor = OutputLengthPredictor(rng, accuracy=1.0)
+    assert all(predictor.predict(_req(n)) == n for n in (1, 10, 500))
+
+
+def test_observed_accuracy_tracks_knob(rng):
+    predictor = OutputLengthPredictor(rng, accuracy=0.8)
+    for _ in range(4000):
+        predictor.predict(_req(100))
+    assert predictor.observed_accuracy == pytest.approx(0.8, abs=0.03)
+
+
+def test_hits_stay_within_tolerance(rng):
+    predictor = OutputLengthPredictor(rng, accuracy=1.0 - 1e-12, tolerance=0.1)
+    for _ in range(500):
+        p = predictor.predict(_req(1000))
+        assert 900 <= p <= 1100
+
+
+def test_misses_leave_tolerance_band(rng):
+    predictor = OutputLengthPredictor(rng, accuracy=0.0, tolerance=0.1)
+    misses = [predictor.predict(_req(1000)) for _ in range(500)]
+    outside = [p for p in misses if abs(p - 1000) > 100]
+    assert len(outside) == len(misses)
+
+
+def test_prediction_floor_is_one(rng):
+    predictor = OutputLengthPredictor(rng, accuracy=0.0, miss_sigma=3.0)
+    assert all(predictor.predict(_req(2)) >= 1 for _ in range(200))
+
+
+def test_annotate_fills_request(rng):
+    predictor = OutputLengthPredictor(rng, accuracy=1.0)
+    request = _req(42)
+    predictor.annotate(request)
+    assert request.predicted_output_tokens == 42
+
+
+def test_invalid_accuracy_rejected(rng):
+    with pytest.raises(ValueError):
+        OutputLengthPredictor(rng, accuracy=1.5)
+
+
+def test_accuracy_nan_before_predictions(rng):
+    assert np.isnan(OutputLengthPredictor(rng).observed_accuracy)
+
+
+# --------------------------------------------------------------------- #
+# HistogramLoadPredictor
+# --------------------------------------------------------------------- #
+def test_histogram_periodic_adapter_predicted():
+    predictor = HistogramLoadPredictor()
+    for t in range(0, 100, 10):
+        predictor.record_use(adapter_id=1, now=float(t))
+    # Last use at 90; next expected around 100.
+    assert predictor.probability_within(1, now=95.0, horizon=6.0) > 0.9
+    assert predictor.probability_within(1, now=91.0, horizon=2.0) < 0.5
+
+
+def test_histogram_unknown_adapter_zero():
+    predictor = HistogramLoadPredictor()
+    assert predictor.probability_within(9, now=0.0, horizon=10.0) == 0.0
+    predictor.record_use(9, 0.0)  # one use, no interval yet
+    assert predictor.probability_within(9, now=1.0, horizon=10.0) == 0.0
+
+
+def test_histogram_rank_candidates_order():
+    predictor = HistogramLoadPredictor()
+    for t in range(0, 100, 10):
+        predictor.record_use(1, float(t))          # period 10
+    for t in range(0, 100, 50):
+        predictor.record_use(2, float(t))          # period 50
+    ranked = predictor.rank_candidates(now=99.0, horizon=5.0, min_probability=0.05)
+    assert ranked and ranked[0][0] == 1
+
+
+def test_histogram_exclusion():
+    predictor = HistogramLoadPredictor()
+    for t in range(0, 100, 10):
+        predictor.record_use(1, float(t))
+    assert predictor.rank_candidates(now=99.0, horizon=5.0, exclude={1}) == []
+
+
+def test_histogram_use_count():
+    predictor = HistogramLoadPredictor()
+    predictor.record_use(4, 0.0)
+    predictor.record_use(4, 1.0)
+    assert predictor.use_count(4) == 2
+    assert predictor.use_count(5) == 0
+
+
+def test_histogram_rejects_bad_bin_width():
+    with pytest.raises(ValueError):
+        HistogramLoadPredictor(bin_width=0.0)
+
+
+# --------------------------------------------------------------------- #
+# BucketPredictor (the µServe-style classifier)
+# --------------------------------------------------------------------- #
+from repro.predictor.output_length import BucketPredictor
+
+
+def test_bucket_oracle_returns_bucket_midpoint(rng):
+    predictor = BucketPredictor(rng, accuracy=1.0, n_buckets=8, max_tokens=2048)
+    prediction = predictor.predict(_req(100))
+    assert predictor.bucket_of(prediction) == predictor.bucket_of(100)
+
+
+def test_bucket_edges_are_geometric(rng):
+    predictor = BucketPredictor(rng, n_buckets=4, max_tokens=256)
+    ratios = [predictor.edges[i + 1] / predictor.edges[i] for i in range(4)]
+    assert all(r == pytest.approx(ratios[0], rel=1e-9) for r in ratios)
+    assert predictor.edges[0] == 1.0
+    assert predictor.edges[-1] == pytest.approx(256.0)
+
+
+def test_bucket_miss_lands_in_adjacent_bucket(rng):
+    predictor = BucketPredictor(rng, accuracy=0.0, n_buckets=8, max_tokens=2048)
+    true_bucket = predictor.bucket_of(100)
+    for _ in range(100):
+        wrong = predictor.bucket_of(predictor.predict(_req(100)))
+        assert wrong != true_bucket
+        assert abs(wrong - true_bucket) == 1
+
+
+def test_bucket_observed_accuracy(rng):
+    predictor = BucketPredictor(rng, accuracy=0.7)
+    for _ in range(3000):
+        predictor.predict(_req(100))
+    assert predictor.observed_accuracy == pytest.approx(0.7, abs=0.04)
+
+
+def test_bucket_annotate_and_validation(rng):
+    predictor = BucketPredictor(rng, accuracy=1.0)
+    request = _req(50)
+    predictor.annotate(request)
+    assert request.predicted_output_tokens >= 1
+    with pytest.raises(ValueError):
+        BucketPredictor(rng, accuracy=2.0)
+    with pytest.raises(ValueError):
+        BucketPredictor(rng, n_buckets=1)
+
+
+def test_bucket_predictor_drives_mlq(rng):
+    """The MLQ consumes bucket predictions exactly like point predictions."""
+    from repro.adapters.registry import AdapterRegistry
+    from repro.llm.model import LLAMA_7B
+    from repro.systems import build_system
+    from repro.workload.trace import SPLITWISE_PROFILE, synthesize_trace
+    from repro.sim.rng import RngStreams
+
+    registry = AdapterRegistry.build(LLAMA_7B, 20)
+    trace = synthesize_trace(SPLITWISE_PROFILE, rps=4.0, duration=10.0,
+                             rng=RngStreams(5).get("trace"), registry=registry)
+    system = build_system("chameleon", registry=registry, seed=5)
+    system.engine.predictor = BucketPredictor(RngStreams(5).get("predictor"))
+    system.run_trace(trace.fresh())
+    assert all(r.finished for r in system.engine.all_requests)

@@ -1,0 +1,163 @@
+"""Tests for adapter residency management: S-LoRA baseline semantics."""
+
+import pytest
+
+from repro.adapters.registry import AdapterRegistry
+from repro.hardware.gpu import A40_48GB, GB, GpuDevice
+from repro.hardware.pcie import PcieLink, PcieSpec
+from repro.llm.model import LLAMA_7B
+from repro.serving.adapter_manager import AdapterState, SloraAdapterManager
+from repro.sim.simulator import Simulator
+from repro.workload.request import Request
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    gpu = GpuDevice(A40_48GB)
+    link = PcieLink(sim, PcieSpec())
+    registry = AdapterRegistry.build(LLAMA_7B, 20)
+    mgr = SloraAdapterManager(sim, gpu, link, registry)
+    return sim, gpu, link, registry, mgr
+
+
+def _request(adapter_id, rid=0):
+    return Request(request_id=rid, arrival_time=0.0, input_tokens=10,
+                   output_tokens=5, adapter_id=adapter_id)
+
+
+def test_acquire_missing_starts_load(env):
+    sim, gpu, link, registry, mgr = env
+    state = mgr.acquire(0)
+    assert state is AdapterState.LOADING
+    assert mgr.is_loading(0)
+    assert gpu.used("adapter") == registry.get(0).size_bytes
+    assert mgr.stats.misses == 1
+    sim.run()
+    assert mgr.is_resident(0)
+
+
+def test_ready_callback_fires_on_completion(env):
+    sim, gpu, link, registry, mgr = env
+    ready = []
+    mgr.on_ready(ready.append)
+    mgr.acquire(3)
+    sim.run()
+    assert ready == [3]
+
+
+def test_acquire_resident_is_hit(env):
+    sim, gpu, link, registry, mgr = env
+    mgr.acquire(0)
+    sim.run()
+    mgr.set_queued_needed({0})   # keep it around after release
+    mgr.release(0)
+    state = mgr.acquire(0)
+    assert state is AdapterState.RESIDENT
+    assert mgr.stats.hits == 1
+
+
+def test_acquire_inflight_is_overlapped(env):
+    sim, gpu, link, registry, mgr = env
+    mgr.acquire(0)
+    state = mgr.acquire(0)
+    assert state is AdapterState.LOADING
+    assert mgr.stats.overlapped == 1
+    assert mgr.refcount(0) == 2
+
+
+def test_slora_discards_idle_adapter(env):
+    """Baseline semantics: refcount 0 and not queued-needed -> discard."""
+    sim, gpu, link, registry, mgr = env
+    mgr.acquire(0)
+    sim.run()
+    mgr.release(0)
+    assert not mgr.is_resident(0)
+    assert gpu.used("adapter") == 0
+    assert gpu.used("adapter_cache") == 0
+
+
+def test_slora_retains_adapter_needed_by_queue(env):
+    sim, gpu, link, registry, mgr = env
+    mgr.acquire(0)
+    sim.run()
+    mgr.set_queued_needed({0})
+    mgr.release(0)
+    assert mgr.is_resident(0)
+    assert gpu.used("adapter_cache") == registry.get(0).size_bytes
+
+
+def test_release_unpinned_raises(env):
+    sim, gpu, link, registry, mgr = env
+    with pytest.raises(RuntimeError):
+        mgr.release(0)
+
+
+def test_prefetch_on_arrival_starts_load(env):
+    sim, gpu, link, registry, mgr = env
+    mgr.on_request_arrival(_request(adapter_id=5))
+    assert mgr.is_loading(5)
+
+
+def test_prefetch_never_evicts(env):
+    sim, gpu, link, registry, mgr = env
+    # Fill the GPU so nothing fits.
+    gpu.reserve("kv", gpu.free_bytes)
+    assert mgr.prefetch(5) is False
+    assert not mgr.is_loading(5)
+
+
+def test_base_request_arrival_noop(env):
+    sim, gpu, link, registry, mgr = env
+    mgr.on_request_arrival(_request(adapter_id=None))
+    assert gpu.used("adapter") == 0
+
+
+def test_make_room_evicts_lru_first(env):
+    sim, gpu, link, registry, mgr = env
+    for aid in (0, 1):
+        mgr.acquire(aid)
+    sim.run()
+    mgr.set_queued_needed({0, 1})
+    mgr.entries[0].last_used = 1.0
+    mgr.entries[1].last_used = 2.0
+    mgr.release(0)
+    mgr.release(1)
+    gpu.reserve("kv", gpu.free_bytes)  # memory pressure
+    freed = mgr.make_room(registry.get(0).size_bytes)
+    assert freed
+    assert not mgr.is_resident(0)   # LRU victim
+    assert mgr.is_resident(1)
+
+
+def test_make_room_never_evicts_pinned(env):
+    sim, gpu, link, registry, mgr = env
+    mgr.acquire(0)
+    sim.run()
+    gpu.reserve("kv", gpu.free_bytes)
+    assert mgr.make_room(1) is False
+    assert mgr.is_resident(0)
+
+
+def test_make_room_trivially_true_when_free(env):
+    sim, gpu, link, registry, mgr = env
+    assert mgr.make_room(GB) is True
+
+
+def test_load_completing_with_zero_refcount_discarded(env):
+    """A prefetch whose requester vanished: baseline discards on completion."""
+    sim, gpu, link, registry, mgr = env
+    mgr.prefetch(4)
+    sim.run()
+    assert not mgr.is_resident(4)
+    assert gpu.used_bytes == 0
+
+
+def test_hit_rate_statistic(env):
+    sim, gpu, link, registry, mgr = env
+    mgr.acquire(0)
+    sim.run()
+    mgr.set_queued_needed({0})
+    mgr.release(0)
+    mgr.acquire(0)
+    assert mgr.stats.hit_rate == pytest.approx(0.5)

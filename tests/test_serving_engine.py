@@ -1,0 +1,262 @@
+"""Tests for the continuous-batching serving engine."""
+
+import pytest
+
+from repro.adapters.registry import AdapterRegistry
+from repro.hardware.gpu import A40_48GB, GB, GpuDevice
+from repro.hardware.pcie import PcieLink, PcieSpec
+from repro.llm.costmodel import CostModel
+from repro.llm.model import LLAMA_7B
+from repro.serving.adapter_manager import SloraAdapterManager
+from repro.serving.engine import EngineConfig, ServingEngine
+from repro.serving.schedulers import FifoScheduler
+from repro.sim.simulator import Simulator
+from repro.workload.request import Request, RequestState
+
+
+def make_engine(
+    n_adapters=20,
+    config=None,
+    gpu_memory=None,
+    scheduler=None,
+    manager_cls=SloraAdapterManager,
+):
+    sim = Simulator()
+    gpu = GpuDevice(A40_48GB, memory_bytes=gpu_memory)
+    link = PcieLink(sim, PcieSpec())
+    registry = AdapterRegistry.build(LLAMA_7B, n_adapters)
+    cost_model = CostModel(LLAMA_7B, A40_48GB)
+    scheduler = scheduler or FifoScheduler()
+    manager = manager_cls(sim, gpu, link, registry)
+    engine = ServingEngine(
+        sim=sim, gpu=gpu, link=link, model=LLAMA_7B, cost_model=cost_model,
+        registry=registry, scheduler=scheduler, adapter_manager=manager,
+        predictor=None, config=config or EngineConfig(),
+    )
+    return engine
+
+
+def _req(rid=0, arrival=0.0, inp=100, out=5, adapter_id=None):
+    return Request(request_id=rid, arrival_time=arrival, input_tokens=inp,
+                   output_tokens=out, adapter_id=adapter_id)
+
+
+def test_single_base_request_timeline():
+    engine = make_engine()
+    request = _req(out=3)
+    engine.run_trace([request])
+    assert request.finished
+    cm = engine.cost_model
+    expected_ttft = cm.params.iteration_overhead + cm.prefill_time(100)
+    assert request.ttft == pytest.approx(expected_ttft, rel=1e-6)
+    assert len(request.token_times) == 3
+    assert request.finish_time > request.first_token_time
+
+
+def test_single_adapter_request_includes_load_time():
+    engine = make_engine()
+    request = _req(adapter_id=0, out=1)
+    engine.run_trace([request])
+    load = engine.link.transfer_time(engine.registry.get(0).size_bytes)
+    cm = engine.cost_model
+    expected = load + cm.params.iteration_overhead + cm.prefill_time(100, 8)
+    assert request.ttft == pytest.approx(expected, rel=1e-6)
+    assert request.adapter_load_critical_path == pytest.approx(load, rel=1e-6)
+
+
+def test_resident_adapter_no_critical_path():
+    engine = make_engine()
+    warm = _req(rid=0, arrival=0.0, adapter_id=0, out=20)
+    # Second request arrives while the first still runs: adapter resident.
+    reuse = _req(rid=1, arrival=0.05, adapter_id=0, out=2)
+    engine.run_trace([warm, reuse])
+    assert reuse.adapter_load_critical_path == 0.0
+    assert engine.adapter_manager.stats.hits >= 1
+
+
+def test_continuous_batching_mid_flight_admission():
+    engine = make_engine()
+    a = _req(rid=0, arrival=0.0, out=50)
+    b = _req(rid=1, arrival=0.2, out=5)
+    engine.run_trace([a, b])
+    assert a.finished and b.finished
+    # b joined while a was decoding and finished long before a.
+    assert b.finish_time < a.finish_time
+
+
+def test_tbt_gaps_positive_and_bounded():
+    engine = make_engine()
+    request = _req(out=20)
+    engine.run_trace([request])
+    gaps = request.token_gaps()
+    assert len(gaps) == 19
+    assert all(g > 0 for g in gaps)
+
+
+def test_memory_released_on_finish():
+    engine = make_engine()
+    request = _req(out=2, adapter_id=3)
+    engine.run_trace([request])
+    assert engine.gpu.used("kv") == 0
+    # S-LoRA discards the idle adapter afterwards.
+    assert engine.gpu.used("adapter") == 0
+
+
+def test_kv_reservation_while_running():
+    engine = make_engine()
+    seen = []
+    request = _req(out=4)
+
+    def probe():
+        seen.append(engine.gpu.used("kv"))
+
+    engine.sim.schedule_at(0.01, probe)
+    engine.run_trace([request])
+    expected = (100 + 4) * LLAMA_7B.kv_bytes_per_token
+    assert seen == [expected]
+
+
+def test_batch_size_cap_enforced():
+    config = EngineConfig(max_batch_size=2)
+    engine = make_engine(config=config)
+    reqs = [_req(rid=i, arrival=0.0, out=30) for i in range(5)]
+    engine.run_trace(reqs)
+    assert all(r.finished for r in reqs)
+    # The third request had to wait for a slot.
+    assert reqs[2].queueing_delay > 0
+
+
+def test_memory_pressure_defers_admission():
+    # Tiny GPU: weights ~12.6 GiB + activations 1 GiB leave ~2.4 GiB for KV.
+    engine = make_engine(gpu_memory=16 * GB)
+    big = _req(rid=0, inp=3500, out=500)   # 2 GiB of KV: only one fits
+    second = _req(rid=1, inp=3500, out=500)
+    engine.run_trace([big, second])
+    assert big.finished and second.finished
+    assert second.admit_time >= big.finish_time
+
+
+def test_oversized_request_rejected_forever_is_not_silent():
+    """A request that can never fit keeps the engine alive but unfinished."""
+    engine = make_engine(gpu_memory=16 * GB)
+    impossible = _req(inp=4000, out=4000)  # ~4 GB KV > capacity
+    engine.run_trace([impossible], horizon=5.0)
+    assert not impossible.finished
+
+
+def test_chunked_prefill_splits_large_prefill():
+    config = EngineConfig(chunk_size=64)
+    engine = make_engine(config=config)
+    request = _req(inp=256, out=2)
+    engine.run_trace([request])
+    assert request.finished
+    # 256 input tokens at 64/iteration: at least 4 prefill iterations.
+    assert engine.stats.iterations >= 4
+
+
+def test_prefill_budget_creates_hol_blocking():
+    config = EngineConfig(prefill_token_budget=512)
+    engine = make_engine(config=config)
+    huge = _req(rid=0, arrival=0.0, inp=500, out=2)
+    small = _req(rid=1, arrival=0.0, inp=100, out=2)
+    engine.run_trace([huge, small])
+    # Both admitted at t=0, but the small one's prefill waits a full
+    # iteration behind the huge head-of-line prefill.
+    assert small.first_token_time > huge.first_token_time
+
+
+def test_oversized_prefill_runs_alone():
+    config = EngineConfig(prefill_token_budget=256)
+    engine = make_engine(config=config)
+    request = _req(inp=1000, out=2)
+    engine.run_trace([request])
+    assert request.finished
+
+
+def test_squash_rolls_back_progress():
+    engine = make_engine()
+    request = _req(out=50, adapter_id=0)
+    engine.run_trace([request], horizon=0.3)
+    assert request.state is RequestState.DECODE
+    assert request.tokens_generated > 0
+    engine.squash(request)
+    assert request.state is RequestState.QUEUED
+    assert request.tokens_generated == 0
+    assert request.token_times == []
+    assert request.squash_count == 1
+    assert engine.gpu.used("kv") == 0
+    # The squashed request re-runs to completion.
+    engine.sim.run()
+    assert request.finished
+
+
+def test_squash_not_in_flight_raises():
+    engine = make_engine()
+    with pytest.raises(RuntimeError):
+        engine.squash(_req())
+
+
+def test_rerunning_used_requests_rejected():
+    engine = make_engine()
+    request = _req(out=2)
+    engine.run_trace([request])
+    engine2 = make_engine()
+    with pytest.raises(ValueError):
+        engine2.run_trace([request])
+
+
+def test_load_stall_charged_when_busy():
+    config = EngineConfig(load_stall_bandwidth=1 * GB)
+    engine = make_engine(config=config)
+    # One long-running request keeps the engine busy while the second's
+    # adapter (rank 128 -> 256 MB) transfers.
+    runner = _req(rid=0, arrival=0.0, out=400)
+    misser = _req(rid=1, arrival=0.1, out=2, adapter_id=4)
+    engine.run_trace([runner, misser])
+    assert engine.stats.stall_time > 0.2  # ~256 MB / 1 GB/s
+
+
+def test_no_stall_when_engine_idle():
+    config = EngineConfig(load_stall_bandwidth=1 * GB)
+    engine = make_engine(config=config)
+    request = _req(adapter_id=4, out=2)
+    engine.run_trace([request])
+    assert engine.stats.stall_time == 0.0
+
+
+def test_stats_accumulate():
+    engine = make_engine()
+    reqs = [_req(rid=i, arrival=0.01 * i, out=3) for i in range(5)]
+    engine.run_trace(reqs)
+    assert engine.stats.admissions == 5
+    assert engine.stats.prefill_tokens == 5 * 100
+    assert engine.stats.iterations > 0
+    assert engine.stats.busy_time > 0
+
+
+def test_memory_telemetry_sampling():
+    config = EngineConfig(memory_telemetry_interval=0.05)
+    engine = make_engine(config=config)
+    engine.run_trace([_req(out=30)], horizon=1.0)
+    assert len(engine.gpu.samples) >= 2
+    assert all(s.usage.get("weights") == LLAMA_7B.weight_bytes
+               for s in engine.gpu.samples)
+
+
+def test_total_token_capacity():
+    engine = make_engine()
+    usable = engine.gpu.capacity - LLAMA_7B.weight_bytes - 1 * GB
+    assert engine.total_token_capacity == usable // LLAMA_7B.kv_bytes_per_token
+
+
+def test_adapter_token_cost_ceil():
+    engine = make_engine()
+    size = engine.registry.get(0).size_bytes
+    expected = -(-size // LLAMA_7B.kv_bytes_per_token)
+    assert engine.adapter_token_cost(0) == expected
+    assert engine.adapter_token_cost(None) == 0
+
+
+def test_in_flight_count():
+    engine = make_engine()
+    assert engine.in_flight_count() == 0

@@ -1,0 +1,73 @@
+"""Tests for the data-parallel multi-replica system (§4.4)."""
+
+import pytest
+
+from repro.serving.replica import MultiReplicaSystem
+from repro.workload.trace import SPLITWISE_PROFILE, synthesize_trace
+
+
+@pytest.fixture
+def cluster(big_registry):
+    return MultiReplicaSystem.build(
+        "chameleon", n_replicas=3, registry=big_registry, seed=0)
+
+
+@pytest.fixture
+def dp_trace(big_registry, rng_streams):
+    return synthesize_trace(SPLITWISE_PROFILE, rps=15.0, duration=30.0,
+                            rng=rng_streams.get("trace"), registry=big_registry)
+
+
+def test_build_shares_one_clock(cluster):
+    assert len(cluster.replicas) == 3
+    sims = {id(system.sim) for system in cluster.replicas}
+    assert sims == {id(cluster.sim)}
+
+
+def test_all_requests_complete(cluster, dp_trace):
+    cluster.run_trace(dp_trace.fresh())
+    done = cluster.all_requests()
+    assert len(done) == len(dp_trace)
+    assert all(r.finished for r in done)
+
+
+def test_load_spread_across_replicas(cluster, dp_trace):
+    cluster.run_trace(dp_trace.fresh())
+    counts = cluster.per_replica_counts()
+    assert len(counts) == 3
+    assert min(counts) > 0
+    # Least-loaded keeps the spread reasonable.
+    assert max(counts) < 3 * min(counts)
+
+
+def test_summary_aggregates(cluster, dp_trace):
+    cluster.run_trace(dp_trace.fresh())
+    summary = cluster.summary()
+    assert summary.n_requests == len(dp_trace)
+    assert summary.p99_ttft > 0
+    assert 0.0 <= cluster.mean_hit_rate() <= 1.0
+
+
+def test_adapter_affinity_routing(big_registry, dp_trace):
+    affinity = MultiReplicaSystem.build(
+        "chameleon", n_replicas=3, dispatch_policy="adapter_affinity",
+        registry=big_registry, seed=0)
+    affinity.run_trace(dp_trace.fresh())
+    rr = MultiReplicaSystem.build(
+        "chameleon", n_replicas=3, dispatch_policy="round_robin",
+        registry=big_registry, seed=0)
+    rr.run_trace(dp_trace.fresh())
+    assert affinity.mean_hit_rate() >= rr.mean_hit_rate() - 0.02
+
+
+def test_rejects_reused_requests(cluster, dp_trace):
+    requests = dp_trace.fresh()
+    cluster.run_trace(requests)
+    other = MultiReplicaSystem.build("slora", n_replicas=2, seed=0)
+    with pytest.raises(ValueError):
+        other.run_trace(requests)
+
+
+def test_rejects_zero_replicas():
+    with pytest.raises(ValueError):
+        MultiReplicaSystem.build("slora", n_replicas=0)

@@ -1,0 +1,43 @@
+"""Tests for named reproducible RNG streams."""
+
+from repro.sim.rng import RngStreams
+
+
+def test_same_seed_same_stream():
+    a = RngStreams(7).get("arrivals").random(10)
+    b = RngStreams(7).get("arrivals").random(10)
+    assert (a == b).all()
+
+
+def test_different_names_are_independent():
+    streams = RngStreams(7)
+    a = streams.get("arrivals").random(10)
+    b = streams.get("lengths").random(10)
+    assert not (a == b).all()
+
+
+def test_different_seeds_differ():
+    a = RngStreams(1).get("arrivals").random(10)
+    b = RngStreams(2).get("arrivals").random(10)
+    assert not (a == b).all()
+
+
+def test_stream_is_cached():
+    streams = RngStreams(7)
+    assert streams.get("x") is streams.get("x")
+
+
+def test_order_independence():
+    """Requesting streams in a different order must not change their values."""
+    s1 = RngStreams(9)
+    first_a = s1.get("a").random()
+    s2 = RngStreams(9)
+    s2.get("b")  # request another stream first
+    assert s2.get("a").random() == first_a
+
+
+def test_spawn_prefixes_namespace():
+    parent = RngStreams(5)
+    child = parent.spawn("engine0")
+    direct = RngStreams(5).get("engine0/trace").random()
+    assert child.get("trace").random() == direct

@@ -1,0 +1,145 @@
+"""Tests for the system presets: wiring and end-to-end runnability."""
+
+import pytest
+
+from repro.core.cache import ChameleonCacheManager
+from repro.core.eviction import (
+    ChameleonScorePolicy,
+    FairSharePolicy,
+    GdsfPolicy,
+    LruPolicy,
+)
+from repro.core.mlq import MlqScheduler
+from repro.hardware.cluster import TensorParallelGroup
+from repro.hardware.gpu import A100_80GB, GB
+from repro.llm.model import LLAMA_13B
+from repro.serving.adapter_manager import SloraAdapterManager
+from repro.serving.schedulers import FifoScheduler, SjfScheduler
+from repro.systems import PRESETS, build_system
+from repro.workload.trace import SPLITWISE_PROFILE, synthesize_trace
+from repro.sim.rng import RngStreams
+
+
+@pytest.mark.parametrize("preset", PRESETS)
+def test_every_preset_builds_and_runs(preset, big_registry, rng_streams):
+    trace = synthesize_trace(SPLITWISE_PROFILE, rps=4.0, duration=10.0,
+                             rng=rng_streams.get("trace"), registry=big_registry)
+    system = build_system(preset, registry=big_registry, seed=0)
+    system.run_trace(trace.fresh())
+    summary = system.summary()
+    assert summary.n_requests == len(trace)
+    assert summary.p99_ttft > 0
+
+
+def test_slora_wiring(big_registry):
+    system = build_system("slora", registry=big_registry)
+    assert isinstance(system.scheduler, FifoScheduler)
+    assert isinstance(system.adapter_manager, SloraAdapterManager)
+
+
+def test_slora_sjf_wiring(big_registry):
+    system = build_system("slora_sjf", registry=big_registry)
+    assert isinstance(system.scheduler, SjfScheduler)
+
+
+def test_slora_chunked_sets_chunk_size(big_registry):
+    system = build_system("slora_chunked", registry=big_registry)
+    assert system.engine.config.chunk_size is not None
+
+
+def test_chameleon_wiring(big_registry):
+    system = build_system("chameleon", registry=big_registry)
+    assert isinstance(system.scheduler, MlqScheduler)
+    assert isinstance(system.adapter_manager, ChameleonCacheManager)
+    assert isinstance(system.adapter_manager.policy, ChameleonScorePolicy)
+    assert not isinstance(system.adapter_manager.policy, FairSharePolicy)
+
+
+def test_ablation_wiring(big_registry):
+    nocache = build_system("chameleon_nocache", registry=big_registry)
+    assert isinstance(nocache.scheduler, MlqScheduler)
+    assert isinstance(nocache.adapter_manager, SloraAdapterManager)
+    nosched = build_system("chameleon_nosched", registry=big_registry)
+    assert isinstance(nosched.scheduler, FifoScheduler)
+    assert isinstance(nosched.adapter_manager, ChameleonCacheManager)
+
+
+def test_cache_policy_presets(big_registry):
+    assert isinstance(
+        build_system("chameleon_lru", registry=big_registry).adapter_manager.policy,
+        LruPolicy)
+    assert isinstance(
+        build_system("chameleon_fairshare", registry=big_registry).adapter_manager.policy,
+        FairSharePolicy)
+    assert isinstance(
+        build_system("chameleon_gdsf", registry=big_registry).adapter_manager.policy,
+        GdsfPolicy)
+
+
+def test_prefetch_preset_attaches_prefetcher(big_registry):
+    system = build_system("chameleon_prefetch", registry=big_registry)
+    assert system.prefetcher is not None
+    assert system.adapter_manager.prefetcher is system.prefetcher
+
+
+def test_static_preset(big_registry):
+    system = build_system("chameleon_static", registry=big_registry)
+    assert system.scheduler.config.static_k == 4
+    assert system.scheduler.n_queues == 4
+
+
+def test_outputonly_preset(big_registry):
+    system = build_system("chameleon_outputonly", registry=big_registry)
+    assert system.scheduler.config.wrs_params.mode == "output_only"
+
+
+def test_unknown_preset_rejected(big_registry):
+    with pytest.raises(ValueError):
+        build_system("bogus", registry=big_registry)
+
+
+def test_predictorless_mlq_rejected(big_registry):
+    with pytest.raises(ValueError):
+        build_system("chameleon", registry=big_registry, predictor_accuracy=None)
+
+
+def test_predictorless_fifo_allowed(big_registry):
+    system = build_system("slora", registry=big_registry, predictor_accuracy=None)
+    assert system.predictor is None
+
+
+def test_tp_build_uses_group(big_registry):
+    system = build_system("chameleon", registry=big_registry,
+                          gpu=A100_80GB, tp_degree=4)
+    assert isinstance(system.gpu, TensorParallelGroup)
+    assert system.gpu.capacity == 4 * 80 * GB
+    assert system.cost_model.compute_speedup > 1.0
+
+
+def test_tp_with_memory_override_rejected(big_registry):
+    with pytest.raises(ValueError):
+        build_system("chameleon", registry=big_registry, tp_degree=2,
+                     gpu_memory_bytes=10 * GB)
+
+
+def test_memory_override(big_registry):
+    system = build_system("slora", registry=big_registry,
+                          gpu=A100_80GB, gpu_memory_bytes=24 * GB)
+    assert system.gpu.capacity == 24 * GB
+
+
+def test_other_models(rng_streams):
+    from repro.adapters.registry import AdapterRegistry
+
+    registry = AdapterRegistry.build(LLAMA_13B, 20)
+    trace = synthesize_trace(SPLITWISE_PROFILE, rps=2.0, duration=10.0,
+                             rng=rng_streams.get("trace"), registry=registry)
+    system = build_system("chameleon", model=LLAMA_13B, gpu=A100_80GB,
+                          registry=registry)
+    system.run_trace(trace.fresh())
+    assert system.summary().n_requests == len(trace)
+
+
+def test_registry_built_when_missing():
+    system = build_system("slora", n_adapters=25)
+    assert len(system.registry) == 25

@@ -1,0 +1,124 @@
+"""Tests for the ASCII visualization helpers and the CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.cli import QUICK_OVERRIDES, main
+from repro.experiments.common import ExperimentResult
+from repro.viz import bar_chart, line_chart, result_chart
+
+
+def test_line_chart_contains_series_and_axes():
+    chart = line_chart(
+        [1.0, 2.0, 3.0],
+        {"alpha": [1.0, 2.0, 4.0], "beta": [4.0, 2.0, 1.0]},
+        title="demo", x_label="rps",
+    )
+    assert "demo" in chart
+    assert "*=alpha" in chart and "o=beta" in chart
+    assert "rps" in chart
+    assert "*" in chart and "o" in chart
+
+
+def test_line_chart_skips_none_values():
+    chart = line_chart([1.0, 2.0], {"a": [None, 3.0]})
+    assert "*" in chart
+
+
+def test_line_chart_validates():
+    with pytest.raises(ValueError):
+        line_chart([], {})
+    with pytest.raises(ValueError):
+        line_chart([1.0], {"a": [None]})
+
+
+def test_line_chart_constant_series():
+    chart = line_chart([1.0, 2.0], {"a": [5.0, 5.0]})
+    assert "*" in chart
+
+
+def test_bar_chart_scales_to_peak():
+    chart = bar_chart(["x", "yy"], [1.0, 2.0], width=10, unit="s")
+    lines = chart.splitlines()
+    assert lines[0].count("#") == 5
+    assert lines[1].count("#") == 10
+    assert "2s" in lines[1]
+
+
+def test_bar_chart_validates():
+    with pytest.raises(ValueError):
+        bar_chart([], [])
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1.0, 2.0])
+
+
+def test_result_chart_line_for_numeric_rows():
+    result = ExperimentResult(
+        "demo", "numeric sweep",
+        rows=[{"rps": float(i), "a_p99": float(i * i), "b_p99": 1.0}
+              for i in range(1, 6)],
+    )
+    chart = result_chart(result)
+    assert chart is not None
+    assert "numeric sweep" in chart
+
+
+def test_result_chart_bars_for_categorical_rows():
+    result = ExperimentResult(
+        "demo", "grouped",
+        rows=[{"system": "a", "p99": 1.0}, {"system": "b", "p99": 2.0}],
+    )
+    chart = result_chart(result)
+    assert chart is not None and "#" in chart
+
+
+def test_result_chart_none_for_empty():
+    assert result_chart(ExperimentResult("demo", "x", rows=[])) is None
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig02" in out and "fig25" in out and "abl_gdsf" in out
+
+
+def test_cli_runs_fig02(capsys):
+    assert main(["fig02"]) == 0
+    out = capsys.readouterr().out
+    assert "TTFT breakdown" in out
+    assert "143.7" in out or "144" in out
+
+
+def test_cli_plot_flag(capsys):
+    assert main(["fig03", "--plot"]) == 0
+    out = capsys.readouterr().out
+    assert "legend:" in out
+
+
+def test_cli_param_override(capsys):
+    assert main(["fig02", "--param", "ranks=(8, 16)"]) == 0
+    out = capsys.readouterr().out
+    assert "128" not in out.split("note:")[0].split("rank")[2]
+
+
+def test_cli_json_export(tmp_path, capsys):
+    path = tmp_path / "out.json"
+    assert main(["fig02", "--json", str(path)]) == 0
+    payload = json.loads(path.read_text())
+    assert payload[0]["experiment"] == "fig02"
+    assert len(payload[0]["rows"]) == 5
+
+
+def test_cli_unknown_experiment():
+    with pytest.raises(KeyError):
+        main(["fig99"])
+
+
+def test_quick_overrides_reference_known_experiments():
+    from repro.experiments.registry import EXPERIMENTS
+
+    assert set(QUICK_OVERRIDES) <= set(EXPERIMENTS)

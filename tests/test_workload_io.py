@@ -1,0 +1,69 @@
+"""Tests for trace persistence and statistics."""
+
+import pytest
+
+from repro.workload.io import load_trace, save_trace, trace_statistics
+from repro.workload.trace import SPLITWISE_PROFILE, Trace, synthesize_trace
+
+
+@pytest.fixture
+def trace(big_registry, rng_streams):
+    return synthesize_trace(SPLITWISE_PROFILE, rps=5.0, duration=30.0,
+                            rng=rng_streams.get("trace"), registry=big_registry)
+
+
+def test_roundtrip_preserves_everything(trace, tmp_path):
+    path = tmp_path / "trace.json"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert len(loaded) == len(trace)
+    assert loaded.rps == trace.rps
+    assert loaded.duration == trace.duration
+    assert loaded.profile == trace.profile
+    for a, b in zip(trace.requests, loaded.requests):
+        assert (a.request_id, a.arrival_time, a.input_tokens,
+                a.output_tokens, a.adapter_id) == (
+            b.request_id, b.arrival_time, b.input_tokens,
+            b.output_tokens, b.adapter_id)
+
+
+def test_loaded_trace_is_runnable(trace, tmp_path, big_registry):
+    from repro.systems import build_system
+
+    path = tmp_path / "trace.json"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    system = build_system("slora", registry=big_registry)
+    system.run_trace(loaded.fresh())
+    assert system.summary().n_requests == len(trace)
+
+
+def test_bad_version_rejected(trace, tmp_path):
+    import json
+
+    path = tmp_path / "trace.json"
+    save_trace(trace, path)
+    payload = json.loads(path.read_text())
+    payload["format_version"] = 99
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError):
+        load_trace(path)
+
+
+def test_statistics_values(trace, big_registry):
+    stats = trace_statistics(trace)
+    assert stats.n_requests == len(trace)
+    # A 30 s window catches a whole burst of the 120 s cycle, so the
+    # realized rate sits above the long-run mean.
+    assert stats.mean_rps == pytest.approx(5.0, rel=0.7)
+    assert stats.p50_input_tokens <= stats.mean_input_tokens  # heavy tail
+    assert stats.p99_input_tokens > stats.p50_input_tokens
+    assert 0 < stats.distinct_adapters <= 100
+    # Power-law popularity: the hottest adapter takes a visible share.
+    assert stats.top_adapter_share > 1.0 / 100
+
+
+def test_statistics_empty_rejected():
+    with pytest.raises(ValueError):
+        trace_statistics(Trace(requests=[], profile=SPLITWISE_PROFILE,
+                               rps=1.0, duration=1.0))
