@@ -1,0 +1,31 @@
+"""Bench: data-parallel dispatch policies on a small trace (cluster scaling).
+
+Tier-1-safe smoke benchmark: 4 replicas, every dispatch policy, a short
+trace — enough to start tracking the perf trajectory of the cluster layer
+without the cost of the full ablation sweep.
+"""
+
+from repro.experiments.abl_dp_dispatch import run as run_dp
+from repro.experiments.fig26_dp_scaling import run as run_scaling
+from repro.hardware.cluster import DataParallelCluster
+
+
+def test_dp_dispatch_all_policies(run_experiment):
+    result = run_experiment(
+        run_dp, rps=20.0, duration=40.0, n_replicas=4, warmup=5.0,
+    )
+    assert {row["policy"] for row in result.rows} == set(DataParallelCluster.POLICIES)
+    for row in result.rows:
+        assert row["p99_ttft_s"] > 0
+        assert row["load_imbalance"] >= 1.0
+        assert row["p99_qdelay_s"] >= 0.0
+
+
+def test_dp_scaling_smoke(run_experiment):
+    result = run_experiment(
+        run_scaling, rps_per_replica=6.0, duration=40.0,
+        replica_counts=(1, 2, 4), warmup=5.0,
+    )
+    # Completed throughput grows with the cluster.
+    rps = [row["completed_rps"] for row in result.rows]
+    assert rps[-1] > rps[0]

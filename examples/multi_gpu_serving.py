@@ -46,7 +46,8 @@ def data_parallel_demo(registry) -> None:
         SPLITWISE_PROFILE, rps=30.0, duration=120.0,
         rng=RngStreams(6).get("trace"), registry=registry,
     )
-    for policy in ("round_robin", "least_loaded", "adapter_affinity"):
+    for policy in ("round_robin", "least_loaded", "p2c", "token_weighted",
+                   "adapter_affinity", "bounded_affinity"):
         cluster = MultiReplicaSystem.build(
             "chameleon", n_replicas=4, dispatch_policy=policy,
             registry=registry, seed=6,
@@ -54,7 +55,8 @@ def data_parallel_demo(registry) -> None:
         cluster.run_trace(trace.fresh())
         summary = cluster.summary(warmup=20.0)
         print(f"{policy:17s} p99={summary.p99_ttft * 1e3:7.0f}ms "
-              f"mean cache hit={cluster.mean_hit_rate() * 100:5.1f}% "
+              f"agg cache hit={cluster.aggregate_hit_rate() * 100:5.1f}% "
+              f"p99 queue delay={summary.extra['p99_dispatch_queue_delay'] * 1e3:6.1f}ms "
               f"per-replica requests={cluster.per_replica_counts()}")
 
 

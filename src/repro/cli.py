@@ -1,14 +1,20 @@
-"""Command-line entry point: run any paper experiment.
+"""Command-line entry point: run any paper experiment or a DP cluster.
 
 Usage::
 
     python -m repro.cli fig02
     python -m repro.cli fig11 --param duration=120 --param "loads=[6,9,12]"
     python -m repro.cli all --quick
+    python -m repro.cli cluster --replicas 4 --policy p2c
 
 ``--quick`` shrinks the simulated durations so the whole suite runs in
 minutes (the same scaling the benchmarks use); numbers are noisier but the
 shapes hold.
+
+The ``cluster`` subcommand runs one data-parallel configuration end to end
+(§4.4 two-level scheduling: global admission queue + dispatch policy) and
+reports per-replica completion counts, dispatch-queue delay percentiles and
+the lookup-weighted aggregate cache hit rate.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ QUICK_OVERRIDES = {
     "fig23": {"duration": 90.0},
     "fig24": {"duration": 90.0, "loads": (4.0, 8.0, 12.0)},
     "fig25": {"duration": 90.0},
+    "fig26": {"duration": 60.0, "replica_counts": (1, 2, 4)},
     "abl_wrs_degree": {"duration": 90.0, "loads": (9.0, 11.0)},
     "abl_eviction_weights": {"duration": 60.0, "grid_step": 0.5},
     "abl_gdsf": {"duration": 90.0},
@@ -60,13 +67,79 @@ def _parse_param(raw: str) -> tuple[str, object]:
     return key, parsed
 
 
+def _cluster_main(argv) -> int:
+    """Run one data-parallel cluster configuration and print a report."""
+    from repro.experiments.common import standard_registry, standard_trace
+    from repro.hardware.cluster import DataParallelCluster
+    from repro.serving.replica import MultiReplicaSystem
+    from repro.systems import PRESETS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli cluster",
+        description="Serve one trace on a data-parallel cluster (§4.4).",
+    )
+    parser.add_argument("--replicas", type=int, default=4)
+    parser.add_argument("--policy", default="least_loaded",
+                        choices=DataParallelCluster.POLICIES)
+    parser.add_argument("--preset", default="chameleon", choices=PRESETS)
+    parser.add_argument("--rps", type=float, default=30.0,
+                        help="total arrival rate across the cluster")
+    parser.add_argument("--duration", type=float, default=60.0)
+    parser.add_argument("--warmup", type=float, default=10.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--spill-factor", type=float, default=1.5,
+                        help="bounded_affinity load bound (x cluster mean)")
+    parser.add_argument("--no-backpressure", action="store_true",
+                        help="force-submit arrivals instead of queueing "
+                             "when every replica is saturated")
+    args = parser.parse_args(argv)
+    if args.replicas < 1:
+        parser.error(f"--replicas must be >= 1, got {args.replicas}")
+    if args.spill_factor < 1.0:
+        parser.error(f"--spill-factor must be >= 1.0, got {args.spill_factor}")
+
+    registry = standard_registry()
+    trace = standard_trace(args.rps, args.duration, registry, seed=args.seed)
+    cluster = MultiReplicaSystem.build(
+        args.preset, n_replicas=args.replicas, dispatch_policy=args.policy,
+        backpressure=not args.no_backpressure, spill_factor=args.spill_factor,
+        registry=registry, seed=args.seed,
+    )
+    start = time.time()
+    cluster.run_trace(trace.fresh())
+    summary = cluster.summary(warmup=args.warmup)
+    extra = summary.extra
+
+    print(f"[cluster] {args.preset} x{args.replicas} policy={args.policy} "
+          f"@ {args.rps} RPS for {args.duration}s (seed {args.seed})")
+    print(f"  completed requests        {summary.n_requests}")
+    print(f"  per-replica counts        {extra['per_replica_counts']}")
+    print(f"  load imbalance (max/mean) {extra['load_imbalance']:.3f}")
+    print(f"  aggregate hit rate        {extra['aggregate_hit_rate']:.3f} "
+          f"(lookup-weighted)")
+    print(f"  p50/p99 TTFT              {summary.p50_ttft:.3f}s / "
+          f"{summary.p99_ttft:.3f}s")
+    print(f"  dispatch-queue delay      p50={extra['p50_dispatch_queue_delay']:.4f}s "
+          f"p99={extra['p99_dispatch_queue_delay']:.4f}s "
+          f"({extra['cluster_queued']} arrivals queued)")
+    if args.policy == "bounded_affinity":
+        print(f"  affinity spills           {extra['affinity_spills']}")
+    print(f"(elapsed: {time.time() - start:.1f}s)")
+    return 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "cluster":
+        return _cluster_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Regenerate the Chameleon paper's tables and figures.",
     )
     parser.add_argument("experiment",
-                        help="experiment id (e.g. fig11), 'all', or 'list'")
+                        help="experiment id (e.g. fig11), 'all', 'list', "
+                             "or 'cluster' (see 'cluster --help')")
     parser.add_argument("--quick", action="store_true",
                         help="shrink durations for a fast, noisier pass")
     parser.add_argument("--param", action="append", default=[],

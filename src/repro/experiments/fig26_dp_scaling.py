@@ -1,0 +1,62 @@
+"""DP scaling: throughput and tail latency as replicas are added (§4.4).
+
+Beyond the paper's figures: the load is scaled proportionally with the
+replica count (fixed per-replica RPS), so ideal data-parallel scaling keeps
+the latency distribution flat while completed throughput grows linearly.
+The gap from flat — rising tail TTFT, dispatch-queue delay, load imbalance —
+is the cost of the two-level scheduler at scale, which is exactly what the
+global admission queue and the smarter dispatch policies are for.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Row,
+    standard_registry,
+    standard_trace,
+)
+from repro.serving.replica import MultiReplicaSystem
+
+
+def run(
+    rps_per_replica: float = 8.0,
+    duration: float = 120.0,
+    replica_counts=(1, 2, 4, 8),
+    policy: str = "token_weighted",
+    preset: str = "chameleon",
+    warmup: float = 20.0,
+    seed: int = 1,
+) -> ExperimentResult:
+    registry = standard_registry()
+    rows = []
+    for n_replicas in replica_counts:
+        rps = rps_per_replica * n_replicas
+        trace = standard_trace(rps, duration, registry, seed=seed)
+        cluster = MultiReplicaSystem.build(
+            preset, n_replicas=n_replicas, dispatch_policy=policy,
+            registry=registry, seed=seed,
+        )
+        cluster.run_trace(trace.fresh())
+        summary = cluster.summary(warmup=warmup)
+        rows.append(Row(
+            replicas=n_replicas,
+            rps=rps,
+            completed_rps=summary.completed_rps,
+            p50_ttft_s=summary.p50_ttft,
+            p99_ttft_s=summary.p99_ttft,
+            p99_qdelay_s=summary.extra["p99_dispatch_queue_delay"],
+            load_imbalance=summary.extra["load_imbalance"],
+            agg_hit_rate=summary.extra["aggregate_hit_rate"],
+        ))
+    return ExperimentResult(
+        experiment="fig26",
+        description=f"DP scaling of {preset!r} under {policy!r} dispatch "
+                    f"@ {rps_per_replica} RPS per replica",
+        rows=rows,
+        params={"rps_per_replica": rps_per_replica, "duration": duration,
+                "replica_counts": tuple(replica_counts), "policy": policy,
+                "preset": preset},
+        notes=["load scales with the cluster, so flat latency = ideal DP "
+               "scaling; queue delay and imbalance measure the dispatch gap"],
+    )

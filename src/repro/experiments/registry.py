@@ -32,6 +32,7 @@ from repro.experiments import (
     fig23_model_scaling,
     fig24_memory_scaling,
     fig25_tensor_parallel,
+    fig26_dp_scaling,
 )
 
 EXPERIMENTS: dict[str, Callable] = {
@@ -57,6 +58,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "fig23": fig23_model_scaling.run,
     "fig24": fig24_memory_scaling.run,
     "fig25": fig25_tensor_parallel.run,
+    "fig26": fig26_dp_scaling.run,
     # Ablations of design choices (DESIGN.md) and of our modeling assumptions.
     "abl_wrs_degree": abl_wrs_degree.run,
     "abl_eviction_weights": abl_eviction_weights.run,

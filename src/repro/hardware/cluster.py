@@ -9,13 +9,20 @@ fraction of TTFT as TP grows (paper Figure 5).
 Data parallelism (DP) is a set of independent engines behind a two-level
 scheduler (§4.4): a global dispatcher routes each request to one engine, and
 each engine keeps its own local scheduler and adapter cache (the paper
-replicates the cache across DP engines).
+replicates the cache across DP engines).  The dispatcher owns a global
+admission queue with backpressure: when every replica's batch is saturated,
+arrivals wait at the cluster level (with per-request queue-delay accounting)
+and replicas pull from the queue on finish events instead of having work
+force-fed into an overloaded local queue.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
+
+import numpy as np
 
 from repro.hardware.gpu import GpuDevice, GpuSpec
 from repro.hardware.pcie import PcieLink, Transfer
@@ -81,47 +88,202 @@ class TensorParallelGroup(GpuDevice):
         return link.transfer_time(nbytes) + self.tp_degree * per_shard
 
 
+@dataclass
+class DispatchStats:
+    """Global-dispatcher telemetry (queueing, routing decisions)."""
+
+    dispatched: int = 0        # requests handed to an engine
+    queued: int = 0            # arrivals that waited in the global queue
+    spills: int = 0            # bounded-affinity fallbacks past the bound
+    queue_delays: list = field(default_factory=list)  # seconds, queued only
+
+
 class DataParallelCluster:
     """A set of independent engines behind a global dispatcher.
 
-    The dispatcher implements the two-level scheduling of §4.4.  Policies:
+    The dispatcher implements the two-level scheduling of §4.4: routing
+    (``policy``) plus a global admission queue.  With ``backpressure`` on,
+    an arrival finding *every* engine saturated (batch at capacity) waits in
+    a cluster-level FIFO queue rather than being force-submitted; engines
+    pull from the queue as finish events free batch slots, and the time each
+    request spent waiting is stamped on ``request.dispatch_queue_delay``.
+
+    Policies (see also the table in :mod:`repro.serving.replica`):
 
     * ``"least_loaded"`` — join the engine with the fewest in-flight requests
       (running + queued), the classic JSQ heuristic.
     * ``"round_robin"`` — cyclic assignment.
-    * ``"adapter_affinity"`` — prefer the least-loaded engine among those that
-      already have the request's adapter resident (falls back to JSQ); this
-      exploits the per-engine adapter caches.
+    * ``"p2c"`` — power-of-two-choices: sample two engines, join the less
+      loaded; near-JSQ balance with O(1) load probes.
+    * ``"token_weighted"`` — JSQ over in-flight *tokens* (remaining prefill +
+      predicted remaining decode) instead of request count, so one huge
+      request counts for what it costs.
+    * ``"adapter_affinity"`` — prefer the least-loaded engine among those
+      that already have the request's adapter resident (falls back to JSQ);
+      exploits the per-engine adapter caches.  Unbounded: a hot adapter can
+      pile its whole stream onto one replica.
+    * ``"bounded_affinity"`` — adapter affinity with a spill bound: when the
+      affine replica's load exceeds ``spill_factor`` times the cluster mean,
+      fall back to JSQ (consistent-hashing-with-bounded-loads style).
     """
 
-    POLICIES = ("least_loaded", "round_robin", "adapter_affinity")
+    POLICIES = (
+        "least_loaded",
+        "round_robin",
+        "adapter_affinity",
+        "p2c",
+        "token_weighted",
+        "bounded_affinity",
+    )
 
-    def __init__(self, engines: Sequence, policy: str = "least_loaded") -> None:
+    def __init__(
+        self,
+        engines: Sequence,
+        policy: str = "least_loaded",
+        *,
+        backpressure: bool = True,
+        spill_factor: float = 1.5,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
         if not engines:
             raise ValueError("cluster needs at least one engine")
         if policy not in self.POLICIES:
             raise ValueError(f"unknown dispatch policy {policy!r}; pick from {self.POLICIES}")
+        if spill_factor < 1.0:
+            raise ValueError(f"spill_factor must be >= 1.0, got {spill_factor}")
         self.engines = list(engines)
         self.policy = policy
+        self.backpressure = backpressure
+        self.spill_factor = spill_factor
+        self.stats = DispatchStats()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         self._rr_next = 0
+        self._queue: deque = deque()  # (request, enqueue_time) FIFO
+        # Pull-based dispatch: drain the global queue on finish events.
+        for engine in self.engines:
+            register = getattr(engine, "on_finish", None)
+            if callable(register):
+                register(self._on_engine_finish)
 
-    def dispatch(self, request) -> int:
-        """Pick an engine index for ``request`` and submit it there."""
-        idx = self._pick(request)
+    # ------------------------------------------------------------------ #
+    # Dispatch path
+    # ------------------------------------------------------------------ #
+    def dispatch(self, request) -> Optional[int]:
+        """Route ``request``: submit it to an engine, or queue it.
+
+        Returns the engine index, or ``None`` when backpressure held the
+        request in the global queue (it is submitted later, in arrival
+        order, as finish events free capacity).
+        """
+        if self.backpressure and (self._queue or self._all_saturated()):
+            # FIFO: nothing may overtake an already-queued arrival.
+            self._queue.append((request, self._now()))
+            self.stats.queued += 1
+            self._drain()
+            return None
+        return self._submit(request)
+
+    def queue_len(self) -> int:
+        """Requests currently held in the global admission queue."""
+        return len(self._queue)
+
+    def pending_requests(self) -> list:
+        """Requests still waiting in the global queue (never dispatched).
+
+        Non-empty only when a run stops at a horizon while the cluster is
+        backlogged; accounting must not lose these arrivals.
+        """
+        return [request for request, _ in self._queue]
+
+    def _submit(self, request) -> int:
+        candidates = None
+        if self.backpressure:
+            # Never force-feed a saturated engine while another has room —
+            # that is the exact failure mode the global queue exists to
+            # prevent (matters for routing policies that don't follow load).
+            unsaturated = [
+                i for i, engine in enumerate(self.engines)
+                if not self._saturated(engine)
+            ]
+            if unsaturated:
+                candidates = unsaturated
+        idx = self._pick(request, candidates)
         self.engines[idx].submit(request)
+        self.stats.dispatched += 1
         return idx
 
-    def _pick(self, request) -> int:
+    def _on_engine_finish(self, request) -> None:
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._queue and not self._all_saturated():
+            request, enqueued_at = self._queue.popleft()
+            request.dispatch_queue_delay = self._now() - enqueued_at
+            self.stats.queue_delays.append(request.dispatch_queue_delay)
+            self._submit(request)
+
+    def _now(self) -> float:
+        sim = getattr(self.engines[0], "sim", None)
+        return sim.now if sim is not None else 0.0
+
+    def _all_saturated(self) -> bool:
+        return all(self._saturated(engine) for engine in self.engines)
+
+    @staticmethod
+    def _saturated(engine) -> bool:
+        checker = getattr(engine, "is_saturated", None)
+        return checker() if callable(checker) else False
+
+    # ------------------------------------------------------------------ #
+    # Routing policies
+    # ------------------------------------------------------------------ #
+    def _load(self, idx: int) -> float:
+        engine = self.engines[idx]
+        if self.policy == "token_weighted":
+            probe = getattr(engine, "in_flight_token_load", None)
+            if callable(probe):
+                return probe()
+        return engine.in_flight_count()
+
+    def _pick(self, request, candidates: Optional[list] = None) -> int:
+        """Pick an engine index among ``candidates`` (default: all)."""
+        n = len(self.engines)
+        if candidates is None:
+            candidates = list(range(n))
+        if len(candidates) == 1:
+            return candidates[0]
         if self.policy == "round_robin":
-            idx = self._rr_next
-            self._rr_next = (self._rr_next + 1) % len(self.engines)
-            return idx
-        loads = [engine.in_flight_count() for engine in self.engines]
-        if self.policy == "adapter_affinity" and request.adapter_id is not None:
+            eligible = set(candidates)
+            for _ in range(n):
+                idx = self._rr_next
+                self._rr_next = (self._rr_next + 1) % n
+                if idx in eligible:
+                    return idx
+            return candidates[0]  # unreachable: candidates is non-empty
+        if self.policy == "p2c":
+            i, j = (
+                candidates[int(k)]
+                for k in self._rng.choice(len(candidates), size=2, replace=False)
+            )
+            if self._load(i) == self._load(j):
+                return min(i, j)
+            return i if self._load(i) < self._load(j) else j
+        loads = {i: self._load(i) for i in candidates}
+        if (
+            self.policy in ("adapter_affinity", "bounded_affinity")
+            and request.adapter_id is not None
+        ):
             resident = [
-                i for i, engine in enumerate(self.engines)
-                if engine.adapter_manager.is_resident(request.adapter_id)
+                i for i in candidates
+                if self.engines[i].adapter_manager.is_resident(request.adapter_id)
             ]
             if resident:
-                return min(resident, key=lambda i: loads[i])
-        return min(range(len(self.engines)), key=lambda i: loads[i])
+                best = min(resident, key=lambda i: loads[i])
+                if self.policy == "adapter_affinity":
+                    return best
+                bound = self.spill_factor * max(
+                    1.0, sum(loads.values()) / len(loads))
+                if loads[best] <= bound:
+                    return best
+                self.stats.spills += 1  # affine replica too hot: spill to JSQ
+        return min(candidates, key=lambda i: loads[i])

@@ -105,7 +105,7 @@ class ServingEngine:
         scheduler: Scheduler,
         adapter_manager: AdapterManagerBase,
         predictor: Optional[OutputLengthPredictor] = None,
-        config: EngineConfig = EngineConfig(),
+        config: Optional[EngineConfig] = None,
     ) -> None:
         self.sim = sim
         self.gpu = gpu
@@ -116,11 +116,14 @@ class ServingEngine:
         self.scheduler = scheduler
         self.adapter_manager = adapter_manager
         self.predictor = predictor
-        self.config = config
+        # A fresh config per engine: a shared default instance would alias
+        # mutable knobs across every engine in a cluster.
+        self.config = config if config is not None else EngineConfig()
         self.stats = EngineStats()
 
         self._running: list[Request] = []
         self._pending_load: list[Request] = []
+        self._finish_callbacks: list = []
         self._iteration_event = None
         self._last_decode_step_time = 0.02  # seed for release-time estimates
         self._pending_stall = 0.0           # engine time owed to adapter copies
@@ -129,9 +132,9 @@ class ServingEngine:
 
         # Static reservations: base weights + activation workspace.
         self.gpu.reserve("weights", model.weight_bytes)
-        self.gpu.reserve("activations", config.activation_reserve_bytes)
-        if config.memory_telemetry_interval is not None:
-            self.gpu.enable_telemetry(config.memory_telemetry_interval)
+        self.gpu.reserve("activations", self.config.activation_reserve_bytes)
+        if self.config.memory_telemetry_interval is not None:
+            self.gpu.enable_telemetry(self.config.memory_telemetry_interval)
 
         self.adapter_manager.on_ready(self._on_adapter_ready)
 
@@ -153,6 +156,39 @@ class ServingEngine:
 
     def in_flight_count(self) -> int:
         return len(self._running) + len(self._pending_load) + self.scheduler.queue_len()
+
+    def is_saturated(self) -> bool:
+        """True when in-flight work (batch + local queue) is at
+        ``max_batch_size`` — a request submitted now could not be admitted
+        before a finish event, so a global dispatcher with backpressure
+        should hold it in the cluster queue instead (§4.4)."""
+        return self.in_flight_count() >= self.config.max_batch_size
+
+    def in_flight_token_load(self) -> float:
+        """In-flight work in *tokens*: remaining prefill plus predicted
+        remaining decode across running, loading and locally-queued requests.
+
+        Token-weighted dispatch uses this instead of :meth:`in_flight_count`
+        so a replica holding a few huge requests is not mistaken for idle.
+        Falls back to the true output length when no prediction exists.
+        """
+        total = 0.0
+        for request in self._running + self._pending_load:
+            predicted = request.predicted_output_tokens or request.output_tokens
+            total += request.remaining_prefill_tokens
+            total += max(0, predicted - request.tokens_generated)
+        for request in self.scheduler.queued_requests():
+            predicted = request.predicted_output_tokens or request.output_tokens
+            total += request.input_tokens + predicted
+        return total
+
+    def on_finish(self, callback) -> None:
+        """Register a hook fired after each request completes.
+
+        The data-parallel cluster uses this for pull-based dispatch: a finish
+        event frees batch capacity, so the global queue can drain into it.
+        """
+        self._finish_callbacks.append(callback)
 
     def request_rank(self, request: Request) -> Optional[int]:
         if request.adapter_id is None:
@@ -432,6 +468,14 @@ class ServingEngine:
                 finished.append(request)
         for request in finished:
             self._finish(request, now)
+        # Fire finish hooks only after every finish of this iteration is
+        # finalized: a hook may submit new work (cluster queue drain), which
+        # kicks a fresh iteration — doing that mid-loop would let the new
+        # iteration capture requests that are finished but not yet removed
+        # from the batch, double-finishing them.
+        for request in finished:
+            for callback in self._finish_callbacks:
+                callback(request)
         self.gpu.maybe_sample(now)
         self._start_iteration()
 

@@ -7,17 +7,39 @@ its local scheduler", and "replicates the adapter cache across engines"
 
 :class:`MultiReplicaSystem` builds N identical replicas of any system preset
 on one shared simulated clock, dispatches arrivals through a
-:class:`~repro.hardware.cluster.DataParallelCluster` policy, and aggregates
-metrics across engines.
+:class:`~repro.hardware.cluster.DataParallelCluster` (global admission queue
+with backpressure + routing policy), and aggregates metrics across engines.
+Each replica derives its own RNG seed (``seed + i``) so predictor noise and
+any other stochastic component are independent across the cluster — a shared
+seed would correlate the errors and bias DP experiments.
+
+Dispatch policies (``dispatch_policy=`` in :meth:`MultiReplicaSystem.build`):
+
+=====================  =========================================================
+policy                 routing rule
+=====================  =========================================================
+``round_robin``        cyclic assignment; load- and cache-oblivious
+``least_loaded``       JSQ by in-flight request count
+``p2c``                power-of-two-choices: sample 2 engines, join the less
+                       loaded (near-JSQ balance with O(1) probes)
+``token_weighted``     JSQ by in-flight *tokens* (remaining prefill +
+                       predicted remaining decode), robust to size skew
+``adapter_affinity``   least-loaded engine holding the adapter resident;
+                       unbounded — a hot adapter can swamp one replica
+``bounded_affinity``   adapter affinity until the affine replica's load
+                       exceeds ``spill_factor`` x the cluster mean, then JSQ
+=====================  =========================================================
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.hardware.cluster import DataParallelCluster
-from repro.metrics.summary import RunSummary, summarize_run
+from repro.metrics.summary import RunSummary, percentile, summarize_run
 from repro.sim.simulator import Simulator
 from repro.workload.request import Request, RequestState
 
@@ -36,12 +58,19 @@ class MultiReplicaSystem:
         preset: str,
         n_replicas: int,
         dispatch_policy: str = "least_loaded",
+        *,
+        backpressure: bool = True,
+        spill_factor: float = 1.5,
+        seed: int = 0,
         **build_kwargs,
     ) -> "MultiReplicaSystem":
         """Build ``n_replicas`` copies of ``preset`` on one shared clock.
 
         Accepts the same keyword arguments as
-        :func:`repro.systems.build_system`.
+        :func:`repro.systems.build_system`.  Replica ``i`` is built with
+        ``seed + i`` so per-replica RNG streams (predictor noise, ...) are
+        decorrelated; the dispatcher's own randomness (p2c sampling) derives
+        from the base ``seed``.
         """
         from repro.systems import build_system  # local import: avoid cycle
 
@@ -49,11 +78,15 @@ class MultiReplicaSystem:
             raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
         sim = Simulator()
         replicas = [
-            build_system(preset, sim=sim, **build_kwargs)
-            for _ in range(n_replicas)
+            build_system(preset, sim=sim, seed=seed + i, **build_kwargs)
+            for i in range(n_replicas)
         ]
         cluster = DataParallelCluster(
-            [system.engine for system in replicas], policy=dispatch_policy
+            [system.engine for system in replicas],
+            policy=dispatch_policy,
+            backpressure=backpressure,
+            spill_factor=spill_factor,
+            rng=np.random.default_rng(seed),
         )
         return cls(replicas=replicas, cluster=cluster, sim=sim)
 
@@ -74,10 +107,40 @@ class MultiReplicaSystem:
         self.sim.run(until=horizon)
 
     def all_requests(self) -> list[Request]:
-        return [r for engine in self.engines for r in engine.all_requests]
+        """Every arrival: dispatched to an engine *or* still in the global
+        queue (a horizon can stop a backlogged run mid-queue — those
+        arrivals must not vanish from accounting)."""
+        dispatched = [r for engine in self.engines for r in engine.all_requests]
+        return dispatched + self.cluster.pending_requests()
 
     def summary(self, **kwargs) -> RunSummary:
-        return summarize_run(self.all_requests(), **kwargs)
+        """Cluster-wide :class:`RunSummary` with DP extensions in ``extra``:
+
+        per-replica completion counts, load imbalance (max/mean), the
+        lookup-weighted aggregate cache hit rate, and dispatch-queue delay
+        percentiles (0 for requests that never waited in the global queue).
+        The delay percentiles cover the same population as the latency
+        columns: finished requests arriving after ``warmup``.
+        """
+        requests = self.all_requests()
+        summary = summarize_run(requests, **kwargs)
+        warmup = kwargs.get("warmup", 0.0)
+        delays = [
+            r.dispatch_queue_delay for r in requests
+            if r.finished and r.arrival_time >= warmup
+        ]
+        counts = self.per_replica_counts()
+        mean_count = sum(counts) / len(counts)
+        summary.extra.update(
+            per_replica_counts=counts,
+            load_imbalance=max(counts) / mean_count if mean_count > 0 else float("nan"),
+            aggregate_hit_rate=self.aggregate_hit_rate(),
+            p50_dispatch_queue_delay=percentile(delays, 50),
+            p99_dispatch_queue_delay=percentile(delays, 99),
+            cluster_queued=self.cluster.stats.queued,
+            affinity_spills=self.cluster.stats.spills,
+        )
+        return summary
 
     def per_replica_counts(self) -> list[int]:
         """Completed requests per replica (load-balance diagnostics)."""
@@ -86,10 +149,38 @@ class MultiReplicaSystem:
             for engine in self.engines
         ]
 
+    def load_imbalance(self) -> float:
+        """Max/mean of per-replica completion counts (1.0 = perfect balance)."""
+        counts = self.per_replica_counts()
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean > 0 else float("nan")
+
+    def aggregate_hit_rate(self) -> float:
+        """Cluster-wide hit rate, weighted by each replica's lookup volume.
+
+        This is total hits over total lookups — unlike the unweighted mean of
+        per-replica rates (:meth:`mean_hit_rate`), it is not skewed by
+        replicas that served almost no adapter traffic.
+        """
+        hits = sum(s.adapter_manager.stats.hits for s in self.replicas)
+        lookups = sum(
+            s.adapter_manager.stats.hits
+            + s.adapter_manager.stats.misses
+            + s.adapter_manager.stats.overlapped
+            for s in self.replicas
+        )
+        return hits / lookups if lookups else float("nan")
+
     def mean_hit_rate(self) -> float:
+        """Unweighted mean of per-replica hit rates (legacy diagnostic;
+        prefer :meth:`aggregate_hit_rate` for cluster-level claims)."""
         rates = [
             system.adapter_manager.stats.hit_rate for system in self.replicas
             if system.adapter_manager.stats.hits + system.adapter_manager.stats.misses
             + system.adapter_manager.stats.overlapped > 0
         ]
         return sum(rates) / len(rates) if rates else float("nan")
+
+    def dispatch_queue_delays(self) -> list[float]:
+        """Per-request global-queue delays (0 for directly-dispatched)."""
+        return [r.dispatch_queue_delay for r in self.all_requests()]

@@ -24,7 +24,7 @@ chameleon_outputonly   MLQ, WRS = output only      Chameleon cache
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.adapters.registry import AdapterRegistry
@@ -153,12 +153,9 @@ def build_system(
 
     engine_config = engine_config or EngineConfig()
     if preset == "slora_chunked" and engine_config.chunk_size is None:
-        engine_config = EngineConfig(
-            max_batch_size=engine_config.max_batch_size,
-            chunk_size=DEFAULT_CHUNK_SIZE,
-            activation_reserve_bytes=engine_config.activation_reserve_bytes,
-            memory_telemetry_interval=engine_config.memory_telemetry_interval,
-        )
+        # replace() keeps every other caller-set field (prefill_token_budget,
+        # record_batch_occupancy, load_stall_bandwidth, ...) intact.
+        engine_config = replace(engine_config, chunk_size=DEFAULT_CHUNK_SIZE)
 
     bounds = default_bounds(registry, profile)
     scheduler = _build_scheduler(preset, model, registry, cost_model, bounds, slo, mlq_config)

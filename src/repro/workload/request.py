@@ -55,6 +55,7 @@ class Request:
     queue_index: Optional[int] = None     # MLQ lane, once classified
     token_cost: int = 0                   # MLQ quota tokens charged
     squash_count: int = 0                 # times squashed by the bypass logic
+    dispatch_queue_delay: float = 0.0     # seconds held in the cluster queue
 
     # -- timeline stamps -------------------------------------------------#
     enqueue_time: Optional[float] = None

@@ -68,9 +68,56 @@ class _FakeEngine:
         self.submitted.append(request)
 
 
+class _TokenEngine(_FakeEngine):
+    """Request count and token load disagree (one huge vs many small)."""
+
+    def __init__(self, load, token_load):
+        super().__init__(load)
+        self._token_load = token_load
+
+    def in_flight_token_load(self):
+        return self._token_load
+
+
+class _QueueEngine:
+    """A saturable engine for exercising the global admission queue."""
+
+    def __init__(self, capacity, sim=None):
+        self.capacity = capacity
+        self.sim = sim
+        self.submitted = []
+        self.in_flight = 0
+        self._finish_callbacks = []
+        self.adapter_manager = self
+
+    def in_flight_count(self):
+        return self.in_flight
+
+    def is_resident(self, adapter_id):
+        return False
+
+    def is_saturated(self):
+        return self.in_flight >= self.capacity
+
+    def on_finish(self, callback):
+        self._finish_callbacks.append(callback)
+
+    def submit(self, request):
+        self.submitted.append(request)
+        self.in_flight += 1
+
+    def finish_one(self):
+        assert self.in_flight > 0
+        self.in_flight -= 1
+        for callback in self._finish_callbacks:
+            callback(self.submitted[0])
+
+
 class _FakeRequest:
-    def __init__(self, adapter_id=None):
+    def __init__(self, adapter_id=None, rid=0):
         self.adapter_id = adapter_id
+        self.request_id = rid
+        self.dispatch_queue_delay = 0.0
 
 
 def test_dp_least_loaded_picks_min():
@@ -112,3 +159,169 @@ def test_dp_rejects_unknown_policy():
 def test_dp_rejects_empty_cluster():
     with pytest.raises(ValueError):
         DataParallelCluster([], policy="least_loaded")
+
+
+def test_dp_rejects_bad_spill_factor():
+    with pytest.raises(ValueError):
+        DataParallelCluster([_FakeEngine(0)], policy="bounded_affinity",
+                            spill_factor=0.5)
+
+
+# --------------------------------------------------------------------- #
+# New dispatch policies
+# --------------------------------------------------------------------- #
+def test_dp_p2c_picks_less_loaded_of_two():
+    # With two engines, any two-of-two sample compares both; the idle one wins.
+    engines = [_FakeEngine(5), _FakeEngine(0)]
+    cluster = DataParallelCluster(engines, policy="p2c")
+    for _ in range(8):
+        assert cluster._pick(_FakeRequest()) == 1
+
+
+def test_dp_p2c_single_engine():
+    cluster = DataParallelCluster([_FakeEngine(3)], policy="p2c")
+    assert cluster.dispatch(_FakeRequest()) == 0
+
+
+def test_dp_token_weighted_ignores_request_count():
+    # Engine 0 holds one huge request; engine 1 holds five tiny ones.  JSQ
+    # would pick engine 0; token weighting sees where the work actually is.
+    engines = [_TokenEngine(1, 10_000), _TokenEngine(5, 100)]
+    jsq = DataParallelCluster([_TokenEngine(1, 10_000), _TokenEngine(5, 100)],
+                              policy="least_loaded")
+    tok = DataParallelCluster(engines, policy="token_weighted")
+    assert jsq.dispatch(_FakeRequest()) == 0
+    assert tok.dispatch(_FakeRequest()) == 1
+
+
+def test_dp_token_weighted_falls_back_to_count():
+    # Engines without a token-load probe degrade to plain JSQ.
+    engines = [_FakeEngine(4), _FakeEngine(2)]
+    cluster = DataParallelCluster(engines, policy="token_weighted")
+    assert cluster.dispatch(_FakeRequest()) == 1
+
+
+def test_dp_bounded_affinity_stays_affine_under_bound():
+    class _Resident(_FakeEngine):
+        def is_resident(self, adapter_id):
+            return True
+
+    # Loads [1, 1, 1]: bound = 1.5 x mean = 1.5, affine load 1 <= 1.5: hold.
+    engines = [_Resident(1), _FakeEngine(1), _FakeEngine(1)]
+    cluster = DataParallelCluster(engines, policy="bounded_affinity")
+    assert cluster.dispatch(_FakeRequest(adapter_id=3)) == 0
+    assert cluster.stats.spills == 0
+
+
+def test_dp_bounded_affinity_spills_past_threshold():
+    class _Resident(_FakeEngine):
+        def is_resident(self, adapter_id):
+            return True
+
+    # The affine replica is far above the mean load: fall back to JSQ.
+    engines = [_Resident(9), _FakeEngine(0), _FakeEngine(1)]
+    bounded = DataParallelCluster(engines, policy="bounded_affinity",
+                                  spill_factor=1.5)
+    assert bounded.dispatch(_FakeRequest(adapter_id=3)) == 1
+    assert bounded.stats.spills == 1
+    # The unbounded variant happily piles onto the hot replica.
+    unbounded = DataParallelCluster(
+        [_Resident(9), _FakeEngine(0), _FakeEngine(1)],
+        policy="adapter_affinity")
+    assert unbounded.dispatch(_FakeRequest(adapter_id=3)) == 0
+
+
+# --------------------------------------------------------------------- #
+# Global admission queue with backpressure
+# --------------------------------------------------------------------- #
+class _FakeSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+def test_dp_backpressure_queues_when_all_saturated():
+    engines = [_QueueEngine(1), _QueueEngine(1)]
+    cluster = DataParallelCluster(engines, policy="least_loaded")
+    assert cluster.dispatch(_FakeRequest(rid=0)) == 0
+    assert cluster.dispatch(_FakeRequest(rid=1)) == 1
+    # Both engines are at capacity: arrivals wait in the global queue.
+    assert cluster.dispatch(_FakeRequest(rid=2)) is None
+    assert cluster.dispatch(_FakeRequest(rid=3)) is None
+    assert cluster.queue_len() == 2
+    assert cluster.stats.queued == 2
+
+
+def test_dp_backpressure_drains_in_arrival_order():
+    sim = _FakeSim()
+    engines = [_QueueEngine(1, sim=sim), _QueueEngine(1, sim=sim)]
+    cluster = DataParallelCluster(engines, policy="least_loaded")
+    requests = [_FakeRequest(rid=i) for i in range(5)]
+    for r in requests[:2]:
+        cluster.dispatch(r)
+    sim.now = 1.0
+    for r in requests[2:]:
+        cluster.dispatch(r)
+    # Finish events pull from the queue head: strict arrival order.
+    sim.now = 3.0
+    engines[0].finish_one()
+    assert engines[0].submitted[-1].request_id == 2
+    sim.now = 4.0
+    engines[1].finish_one()
+    assert engines[1].submitted[-1].request_id == 3
+    engines[0].finish_one()
+    assert engines[0].submitted[-1].request_id == 4
+    # Queue-delay accounting: r2 waited 3.0 - 1.0 = 2.0s, r3 waited 3.0s.
+    assert requests[2].dispatch_queue_delay == pytest.approx(2.0)
+    assert requests[3].dispatch_queue_delay == pytest.approx(3.0)
+    assert cluster.queue_len() == 0
+    assert len(cluster.stats.queue_delays) == 3
+
+
+def test_dp_drain_targets_the_freed_engine():
+    # Round-robin's cursor points at engine 0, but engine 1 owns the freed
+    # slot: the drained request must not be force-fed to the full engine.
+    engines = [_QueueEngine(2), _QueueEngine(2)]
+    cluster = DataParallelCluster(engines, policy="round_robin")
+    for i in range(4):
+        cluster.dispatch(_FakeRequest(rid=i))
+    assert cluster.dispatch(_FakeRequest(rid=4)) is None
+    engines[1].finish_one()
+    assert engines[1].submitted[-1].request_id == 4
+    assert engines[0].in_flight == 2  # never pushed past capacity
+
+
+def test_dp_dispatch_skips_saturated_engine():
+    # Partial saturation: routing policies that don't follow load (here
+    # round-robin) must still avoid engines with no room.
+    engines = [_QueueEngine(1), _QueueEngine(5)]
+    cluster = DataParallelCluster(engines, policy="round_robin")
+    assert cluster.dispatch(_FakeRequest(rid=0)) == 0  # engine 0 now full
+    assert cluster.dispatch(_FakeRequest(rid=1)) == 1
+    assert cluster.dispatch(_FakeRequest(rid=2)) == 1
+    assert engines[0].in_flight == 1
+
+
+def test_dp_backpressure_disabled_force_submits():
+    engines = [_QueueEngine(1), _QueueEngine(1)]
+    cluster = DataParallelCluster(engines, policy="least_loaded",
+                                  backpressure=False)
+    for i in range(4):
+        assert cluster.dispatch(_FakeRequest(rid=i)) is not None
+    assert cluster.queue_len() == 0
+    assert engines[0].in_flight + engines[1].in_flight == 4
+
+
+def test_dp_fifo_no_overtaking_while_queue_nonempty():
+    # Even if capacity opens without a finish event having drained the queue,
+    # a new arrival must not overtake the queued head.
+    engines = [_QueueEngine(1), _QueueEngine(1)]
+    cluster = DataParallelCluster(engines, policy="least_loaded")
+    for i in range(3):
+        cluster.dispatch(_FakeRequest(rid=i))
+    assert cluster.queue_len() == 1
+    engines[0].in_flight = 0  # capacity appears out of band
+    assert cluster.dispatch(_FakeRequest(rid=3)) is None
+    # Drain ran inside dispatch: the queued head (rid=2) took the slot, and
+    # the new arrival stayed behind it in the queue.
+    assert engines[0].submitted[-1].request_id == 2
+    assert cluster.queue_len() == 1

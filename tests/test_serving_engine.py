@@ -260,3 +260,54 @@ def test_adapter_token_cost_ceil():
 def test_in_flight_count():
     engine = make_engine()
     assert engine.in_flight_count() == 0
+
+
+# --------------------------------------------------------------------- #
+# Cluster-facing views and hooks
+# --------------------------------------------------------------------- #
+def _bare_engine():
+    """An engine built WITHOUT an explicit config (default-argument path)."""
+    sim = Simulator()
+    gpu = GpuDevice(A40_48GB)
+    link = PcieLink(sim, PcieSpec())
+    registry = AdapterRegistry.build(LLAMA_7B, 5)
+    return ServingEngine(
+        sim=sim, gpu=gpu, link=link, model=LLAMA_7B,
+        cost_model=CostModel(LLAMA_7B, A40_48GB), registry=registry,
+        scheduler=FifoScheduler(),
+        adapter_manager=SloraAdapterManager(sim, gpu, link, registry),
+    )
+
+
+def test_engine_default_config_is_not_aliased():
+    """Regression: a mutable default EngineConfig() was shared by every
+    engine built without a config, so one engine's knobs leaked into all."""
+    first, second = _bare_engine(), _bare_engine()
+    assert first.config is not second.config
+    first.config.max_batch_size = 1
+    assert second.config.max_batch_size == 256
+
+
+def test_is_saturated_counts_all_in_flight_work():
+    engine = make_engine(config=EngineConfig(max_batch_size=2))
+    assert not engine.is_saturated()
+    engine.submit(_req(rid=0, inp=50, out=5))
+    assert not engine.is_saturated()
+    engine.submit(_req(rid=1, inp=50, out=5))
+    assert engine.is_saturated()
+
+
+def test_in_flight_token_load_uses_sizes():
+    engine = make_engine()
+    engine.submit(_req(rid=0, inp=100, out=40))
+    # No predictor: remaining prefill + true remaining decode.
+    assert engine.in_flight_token_load() == pytest.approx(140.0)
+
+
+def test_on_finish_hook_fires_per_completion():
+    engine = make_engine()
+    finished = []
+    engine.on_finish(finished.append)
+    requests = [_req(rid=0, out=2), _req(rid=1, arrival=0.01, out=2)]
+    engine.run_trace(requests)
+    assert sorted(r.request_id for r in finished) == [0, 1]

@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.serving.engine import EngineConfig
 from repro.serving.replica import MultiReplicaSystem
+from repro.workload.request import Request
 from repro.workload.trace import SPLITWISE_PROFILE, synthesize_trace
 
 
@@ -71,3 +73,178 @@ def test_rejects_reused_requests(cluster, dp_trace):
 def test_rejects_zero_replicas():
     with pytest.raises(ValueError):
         MultiReplicaSystem.build("slora", n_replicas=0)
+
+
+# --------------------------------------------------------------------- #
+# Per-replica RNG isolation
+# --------------------------------------------------------------------- #
+def test_replica_seeds_are_derived_not_shared(big_registry):
+    cluster = MultiReplicaSystem.build(
+        "chameleon", n_replicas=3, registry=big_registry, seed=7)
+    assert [system.rng.seed for system in cluster.replicas] == [7, 8, 9]
+
+
+def test_replica_rng_streams_differ(big_registry):
+    """Regression: a shared seed made predictor errors perfectly correlated
+    across replicas, biasing every DP experiment."""
+    cluster = MultiReplicaSystem.build(
+        "chameleon", n_replicas=3, registry=big_registry, seed=0)
+    draws = [system.rng.get("predictor").random() for system in cluster.replicas]
+    assert len(set(draws)) == len(draws)
+
+
+def test_same_seed_is_deterministic(big_registry, dp_trace):
+    def run_once():
+        cluster = MultiReplicaSystem.build(
+            "chameleon", n_replicas=3, dispatch_policy="p2c",
+            registry=big_registry, seed=3)
+        cluster.run_trace(dp_trace.fresh())
+        return cluster.summary(), cluster.per_replica_counts()
+
+    summary_a, counts_a = run_once()
+    summary_b, counts_b = run_once()
+    assert counts_a == counts_b
+    assert summary_a.p99_ttft == summary_b.p99_ttft
+    assert summary_a.p50_e2e == summary_b.p50_e2e
+    assert summary_a.extra == summary_b.extra
+
+
+# --------------------------------------------------------------------- #
+# Dispatch-policy behaviour on skewed traces
+# --------------------------------------------------------------------- #
+def _alternating_burst(n=8, huge=(2000, 200), tiny=(20, 2)):
+    """Huge and tiny requests arriving together: count and token load clash."""
+    requests = []
+    for i in range(n):
+        inp, out = huge if i % 2 == 0 else tiny
+        requests.append(Request(request_id=i, arrival_time=0.0,
+                                input_tokens=inp, output_tokens=out))
+    return requests
+
+
+def _per_replica_token_totals(cluster):
+    return [
+        sum(r.input_tokens + r.output_tokens for r in engine.all_requests)
+        for engine in cluster.engines
+    ]
+
+
+def test_token_weighted_balances_size_skew_better_than_jsq():
+    def run_policy(policy):
+        cluster = MultiReplicaSystem.build(
+            "slora", n_replicas=2, dispatch_policy=policy,
+            predictor_accuracy=None, seed=0)
+        cluster.run_trace(_alternating_burst())
+        totals = _per_replica_token_totals(cluster)
+        return max(totals) / min(totals)
+
+    # JSQ by request count pairs the huge requests onto one replica; the
+    # token-weighted dispatcher splits them.
+    assert run_policy("token_weighted") < run_policy("least_loaded")
+
+
+def test_p2c_balances_a_skewed_trace(big_registry, dp_trace):
+    cluster = MultiReplicaSystem.build(
+        "chameleon", n_replicas=3, dispatch_policy="p2c",
+        registry=big_registry, seed=0)
+    cluster.run_trace(dp_trace.fresh())
+    counts = cluster.per_replica_counts()
+    assert min(counts) > 0
+    assert cluster.load_imbalance() < 1.5
+
+
+# --------------------------------------------------------------------- #
+# Bounded adapter affinity on a hot-adapter trace
+# --------------------------------------------------------------------- #
+def _hot_adapter_trace(n=240, hot_fraction=0.8, spacing=0.1):
+    """A skewed stream: most requests hit one hot adapter."""
+    requests = []
+    for i in range(n):
+        adapter_id = 0 if i % 5 != 4 else 1 + (i // 5) % 19
+        if hot_fraction >= 1.0:
+            adapter_id = 0
+        requests.append(Request(
+            request_id=i, arrival_time=i * spacing,
+            input_tokens=200, output_tokens=40, adapter_id=adapter_id))
+    return requests
+
+
+def test_bounded_affinity_spills_and_keeps_hit_rate(big_registry):
+    def run_policy(policy):
+        cluster = MultiReplicaSystem.build(
+            "chameleon", n_replicas=4, dispatch_policy=policy,
+            registry=big_registry, seed=0)
+        cluster.run_trace(_hot_adapter_trace())
+        return cluster
+
+    bounded = run_policy("bounded_affinity")
+    unbounded = run_policy("adapter_affinity")
+    jsq = run_policy("least_loaded")
+
+    # The unbounded variant piles the hot adapter onto few replicas; the
+    # spill threshold restores balance...
+    assert bounded.load_imbalance() < unbounded.load_imbalance()
+    assert bounded.cluster.stats.spills > 0
+    # ...without giving up the cache benefit of affinity routing.
+    assert bounded.aggregate_hit_rate() >= jsq.aggregate_hit_rate()
+
+
+# --------------------------------------------------------------------- #
+# Global admission queue (backpressure) end to end
+# --------------------------------------------------------------------- #
+def test_backpressure_queues_and_completes(big_registry):
+    burst = [
+        Request(request_id=i, arrival_time=0.001 * i,
+                input_tokens=300, output_tokens=30)
+        for i in range(12)
+    ]
+    cluster = MultiReplicaSystem.build(
+        "slora", n_replicas=2, registry=big_registry, seed=0,
+        predictor_accuracy=None,
+        engine_config=EngineConfig(max_batch_size=2))
+    cluster.run_trace(burst)
+    assert all(r.finished for r in cluster.all_requests())
+    assert len(cluster.all_requests()) == len(burst)
+    # 4 slots existed; the rest waited in the global queue.
+    assert cluster.cluster.stats.queued == 8
+    delays = cluster.dispatch_queue_delays()
+    assert max(delays) > 0.0
+    summary = cluster.summary()
+    assert summary.extra["p99_dispatch_queue_delay"] > 0.0
+    assert summary.extra["cluster_queued"] == 8
+
+
+def test_horizon_does_not_lose_queued_arrivals(big_registry):
+    """Regression: arrivals still in the global queue when a horizon stops
+    a backlogged run must stay visible in all_requests()/summary()."""
+    burst = [
+        Request(request_id=i, arrival_time=0.001 * i,
+                input_tokens=300, output_tokens=300)
+        for i in range(12)
+    ]
+    cluster = MultiReplicaSystem.build(
+        "slora", n_replicas=2, registry=big_registry, seed=0,
+        predictor_accuracy=None,
+        engine_config=EngineConfig(max_batch_size=2))
+    cluster.run_trace(burst, horizon=0.5)
+    assert len(cluster.all_requests()) == len(burst)
+    assert cluster.cluster.queue_len() > 0
+    assert cluster.summary().n_requests == sum(
+        1 for r in cluster.all_requests() if r.finished)
+
+
+def test_summary_extra_fields(cluster, dp_trace):
+    cluster.run_trace(dp_trace.fresh())
+    extra = cluster.summary().extra
+    assert len(extra["per_replica_counts"]) == 3
+    assert extra["load_imbalance"] >= 1.0
+    assert 0.0 <= extra["aggregate_hit_rate"] <= 1.0
+    assert extra["p99_dispatch_queue_delay"] >= 0.0
+
+
+def test_aggregate_hit_rate_is_lookup_weighted(cluster, dp_trace):
+    cluster.run_trace(dp_trace.fresh())
+    stats = [system.adapter_manager.stats for system in cluster.replicas]
+    hits = sum(s.hits for s in stats)
+    lookups = sum(s.hits + s.misses + s.overlapped for s in stats)
+    assert cluster.aggregate_hit_rate() == pytest.approx(hits / lookups)

@@ -47,6 +47,28 @@ def test_slora_chunked_sets_chunk_size(big_registry):
     assert system.engine.config.chunk_size is not None
 
 
+def test_slora_chunked_preserves_caller_engine_config(big_registry):
+    """Regression: the chunked rebuild copied only 4 of 8 EngineConfig
+    fields, silently resetting the caller's other knobs."""
+    from repro.serving.engine import EngineConfig
+    from repro.systems import DEFAULT_CHUNK_SIZE
+
+    custom = EngineConfig(
+        prefill_token_budget=1234,
+        record_batch_occupancy=True,
+        load_stall_bandwidth=None,
+        max_batch_size=99,
+    )
+    system = build_system("slora_chunked", registry=big_registry,
+                          engine_config=custom)
+    config = system.engine.config
+    assert config.chunk_size == DEFAULT_CHUNK_SIZE
+    assert config.prefill_token_budget == 1234
+    assert config.record_batch_occupancy is True
+    assert config.load_stall_bandwidth is None
+    assert config.max_batch_size == 99
+
+
 def test_chameleon_wiring(big_registry):
     system = build_system("chameleon", registry=big_registry)
     assert isinstance(system.scheduler, MlqScheduler)

@@ -122,3 +122,17 @@ def test_quick_overrides_reference_known_experiments():
     from repro.experiments.registry import EXPERIMENTS
 
     assert set(QUICK_OVERRIDES) <= set(EXPERIMENTS)
+
+
+def test_cli_cluster_subcommand(capsys):
+    assert main(["cluster", "--replicas", "2", "--policy", "p2c",
+                 "--rps", "4", "--duration", "8", "--warmup", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "per-replica counts" in out
+    assert "aggregate hit rate" in out
+    assert "dispatch-queue delay" in out
+
+
+def test_cli_cluster_rejects_unknown_policy():
+    with pytest.raises(SystemExit):
+        main(["cluster", "--policy", "definitely_not_a_policy"])
