@@ -2,11 +2,16 @@
 
 Tier-1-safe smoke benchmark: 4 replicas, every dispatch policy, a short
 trace — enough to start tracking the perf trajectory of the cluster layer
-without the cost of the full ablation sweep.
+without the cost of the full ablation sweep.  The SLO-admission and
+heterogeneous-fleet smokes additionally pin the two headline claims: shed /
+deprioritize beat no-admission goodput past the knee, and capability-
+normalized routing beats raw-backlog routing on a mixed-spec fleet.
 """
 
 from repro.experiments.abl_dp_dispatch import run as run_dp
+from repro.experiments.abl_slo_admission import run as run_slo
 from repro.experiments.fig26_dp_scaling import run as run_scaling
+from repro.experiments.fig27_hetero_cluster import run as run_hetero
 from repro.hardware.cluster import DataParallelCluster
 
 
@@ -29,3 +34,28 @@ def test_dp_scaling_smoke(run_experiment):
     # Completed throughput grows with the cluster.
     rps = [row["completed_rps"] for row in result.rows]
     assert rps[-1] > rps[0]
+
+
+def test_slo_admission_smoke(run_experiment):
+    """Past the knee, shed and deprioritize beat no-admission goodput."""
+    result = run_experiment(
+        run_slo, rps=30.0, duration=40.0, n_replicas=2, warmup=5.0,
+    )
+    by_mode = {row["mode"]: row for row in result.rows}
+    assert by_mode["shed"]["goodput_rps"] > by_mode["none"]["goodput_rps"]
+    assert by_mode["deprioritize"]["goodput_rps"] > by_mode["none"]["goodput_rps"]
+    assert by_mode["shed"]["shed"] > 0
+    assert by_mode["deprioritize"]["deprioritized"] > 0
+    # Shedding bounds the tail of what is actually served.
+    assert by_mode["shed"]["p99_ttft_s"] < by_mode["none"]["p99_ttft_s"]
+
+
+def test_hetero_cluster_smoke(run_experiment):
+    """Capability-normalized JSQ/p2c beat raw routing on a mixed fleet."""
+    result = run_experiment(
+        run_hetero, rps=44.0, duration=50.0, warmup=10.0,
+    )
+    for policy in ("least_loaded", "p2c"):
+        rows = {row["normalized"]: row for row in result.rows
+                if row["policy"] == policy}
+        assert rows[True]["p99_ttft_s"] < rows[False]["p99_ttft_s"]

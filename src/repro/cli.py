@@ -48,11 +48,13 @@ QUICK_OVERRIDES = {
     "fig24": {"duration": 90.0, "loads": (4.0, 8.0, 12.0)},
     "fig25": {"duration": 90.0},
     "fig26": {"duration": 60.0, "replica_counts": (1, 2, 4)},
+    "fig27": {"duration": 50.0, "warmup": 10.0},
     "abl_wrs_degree": {"duration": 90.0, "loads": (9.0, 11.0)},
     "abl_eviction_weights": {"duration": 60.0, "grid_step": 0.5},
     "abl_gdsf": {"duration": 90.0},
     "abl_load_stall": {"duration": 90.0, "bandwidths": (None, 3.0, 1.5)},
     "abl_dp_dispatch": {"duration": 90.0},
+    "abl_slo_admission": {"duration": 60.0},
 }
 
 
@@ -69,16 +71,20 @@ def _parse_param(raw: str) -> tuple[str, object]:
 
 def _cluster_main(argv) -> int:
     """Run one data-parallel cluster configuration and print a report."""
-    from repro.experiments.common import standard_registry, standard_trace
+    from repro.experiments.common import standard_registry, standard_trace, trace_slo
     from repro.hardware.cluster import DataParallelCluster
+    from repro.hardware.gpu import A40_48GB, GPU_ZOO
+    from repro.serving.admission import SloPolicy
     from repro.serving.replica import MultiReplicaSystem
-    from repro.systems import PRESETS
+    from repro.systems import PRESETS, resolve_gpu
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli cluster",
         description="Serve one trace on a data-parallel cluster (§4.4).",
     )
-    parser.add_argument("--replicas", type=int, default=4)
+    parser.add_argument("--replicas", type=int, default=None,
+                        help="replica count (default 4, or the length of "
+                             "--replica-specs)")
     parser.add_argument("--policy", default="least_loaded",
                         choices=DataParallelCluster.POLICIES)
     parser.add_argument("--preset", default="chameleon", choices=PRESETS)
@@ -92,17 +98,60 @@ def _cluster_main(argv) -> int:
     parser.add_argument("--no-backpressure", action="store_true",
                         help="force-submit arrivals instead of queueing "
                              "when every replica is saturated")
+    parser.add_argument("--replica-specs", metavar="GPU[,GPU...]",
+                        help="comma-separated GPU names for a heterogeneous "
+                             f"fleet, from {sorted(GPU_ZOO)}")
+    parser.add_argument("--no-capability-norm", action="store_true",
+                        help="compare raw backlog instead of capability-"
+                             "normalized load on mixed-spec fleets")
+    parser.add_argument("--slo-ttft", type=float, default=None, metavar="SECONDS",
+                        help="TTFT deadline enabling SLO admission control; "
+                             "pass 0 to derive the paper's 5x-mean-isolated SLO "
+                             "from the trace")
+    parser.add_argument("--slo-mode", default="shed", choices=SloPolicy.MODES,
+                        help="what to do with arrivals past the SLO knee")
     args = parser.parse_args(argv)
-    if args.replicas < 1:
-        parser.error(f"--replicas must be >= 1, got {args.replicas}")
+    specs = None
+    fleet_gpus = [A40_48GB]  # build_system's default when no specs are given
+    if args.replica_specs:
+        specs = [name.strip() for name in args.replica_specs.split(",")]
+        try:
+            fleet_gpus = [resolve_gpu(name) for name in specs]
+        except ValueError as exc:
+            parser.error(str(exc))
+        if args.replicas is not None and args.replicas != len(specs):
+            parser.error(f"--replicas {args.replicas} conflicts with "
+                         f"{len(specs)} --replica-specs entries")
+    replicas = args.replicas if args.replicas is not None else \
+        (len(specs) if specs else 4)
+    if replicas < 1:
+        parser.error(f"--replicas must be >= 1, got {replicas}")
     if args.spill_factor < 1.0:
         parser.error(f"--spill-factor must be >= 1.0, got {args.spill_factor}")
+    if args.slo_ttft is not None and args.slo_ttft < 0:
+        parser.error(f"--slo-ttft must be >= 0, got {args.slo_ttft}")
+    if args.slo_ttft is not None and args.no_backpressure:
+        parser.error("--slo-ttft needs backpressure (the SLO knee is the "
+                     "global queue); drop --no-backpressure")
 
     registry = standard_registry()
     trace = standard_trace(args.rps, args.duration, registry, seed=args.seed)
+    slo_policy = None
+    if args.slo_ttft is not None:
+        if args.slo_ttft > 0:
+            deadline = args.slo_ttft
+        else:
+            # The derived 5x-mean-isolated deadline must reflect the GPUs
+            # actually serving the trace, averaged over a mixed fleet.
+            deadline = sum(
+                trace_slo(trace, registry, gpu=gpu) for gpu in fleet_gpus
+            ) / len(fleet_gpus)
+        slo_policy = SloPolicy(ttft_deadline=deadline, mode=args.slo_mode)
     cluster = MultiReplicaSystem.build(
-        args.preset, n_replicas=args.replicas, dispatch_policy=args.policy,
+        args.preset, n_replicas=replicas, dispatch_policy=args.policy,
         backpressure=not args.no_backpressure, spill_factor=args.spill_factor,
+        slo_policy=slo_policy, replica_specs=specs,
+        normalize_capability=not args.no_capability_norm,
         registry=registry, seed=args.seed,
     )
     start = time.time()
@@ -110,8 +159,12 @@ def _cluster_main(argv) -> int:
     summary = cluster.summary(warmup=args.warmup)
     extra = summary.extra
 
-    print(f"[cluster] {args.preset} x{args.replicas} policy={args.policy} "
+    print(f"[cluster] {args.preset} x{replicas} policy={args.policy} "
           f"@ {args.rps} RPS for {args.duration}s (seed {args.seed})")
+    if specs:
+        weights = ", ".join(f"{w:.2f}" for w in cluster.capabilities())
+        print(f"  replica specs             {specs} (capability weights "
+              f"{weights})")
     print(f"  completed requests        {summary.n_requests}")
     print(f"  per-replica counts        {extra['per_replica_counts']}")
     print(f"  load imbalance (max/mean) {extra['load_imbalance']:.3f}")
@@ -122,6 +175,14 @@ def _cluster_main(argv) -> int:
     print(f"  dispatch-queue delay      p50={extra['p50_dispatch_queue_delay']:.4f}s "
           f"p99={extra['p99_dispatch_queue_delay']:.4f}s "
           f"({extra['cluster_queued']} arrivals queued)")
+    if slo_policy is not None:
+        print(f"  SLO admission ({slo_policy.mode})      "
+              f"deadline={slo_policy.ttft_deadline:.2f}s "
+              f"shed={extra['cluster_shed']} "
+              f"deprioritized={extra['cluster_deprioritized']}")
+        print(f"  goodput                   {extra['goodput_rps']:.2f} RPS "
+              f"(SLO attainment {extra['cluster_slo_attainment']:.3f}, "
+              f"shed rate {extra['shed_rate']:.3f})")
     if args.policy == "bounded_affinity":
         print(f"  affinity spills           {extra['affinity_spills']}")
     print(f"(elapsed: {time.time() - start:.1f}s)")

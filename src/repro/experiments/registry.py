@@ -9,6 +9,7 @@ from repro.experiments import (
     abl_eviction_weights,
     abl_gdsf,
     abl_load_stall,
+    abl_slo_admission,
     abl_wrs_degree,
     fig02_rank_breakdown,
     fig03_input_sweep,
@@ -33,6 +34,7 @@ from repro.experiments import (
     fig24_memory_scaling,
     fig25_tensor_parallel,
     fig26_dp_scaling,
+    fig27_hetero_cluster,
 )
 
 EXPERIMENTS: dict[str, Callable] = {
@@ -59,12 +61,14 @@ EXPERIMENTS: dict[str, Callable] = {
     "fig24": fig24_memory_scaling.run,
     "fig25": fig25_tensor_parallel.run,
     "fig26": fig26_dp_scaling.run,
+    "fig27": fig27_hetero_cluster.run,
     # Ablations of design choices (DESIGN.md) and of our modeling assumptions.
     "abl_wrs_degree": abl_wrs_degree.run,
     "abl_eviction_weights": abl_eviction_weights.run,
     "abl_gdsf": abl_gdsf.run,
     "abl_load_stall": abl_load_stall.run,
     "abl_dp_dispatch": abl_dp_dispatch.run,
+    "abl_slo_admission": abl_slo_admission.run,
 }
 
 

@@ -90,12 +90,19 @@ class TensorParallelGroup(GpuDevice):
 
 @dataclass
 class DispatchStats:
-    """Global-dispatcher telemetry (queueing, routing decisions)."""
+    """Global-dispatcher telemetry (queueing, routing, SLO admission)."""
 
     dispatched: int = 0        # requests handed to an engine
-    queued: int = 0            # arrivals that waited in the global queue
+    queued: int = 0            # arrivals that waited in a cluster queue
     spills: int = 0            # bounded-affinity fallbacks past the bound
+    shed: int = 0              # arrivals rejected by the SLO policy
+    deprioritized: int = 0     # arrivals moved to the low-priority lane
     queue_delays: list = field(default_factory=list)  # seconds, queued only
+
+
+#: EWMA weight of the newest cluster-wide inter-finish interval sample in the
+#: dispatcher's queue-wait estimator (higher = more reactive, noisier).
+FINISH_INTERVAL_EWMA_ALPHA = 0.2
 
 
 class DataParallelCluster:
@@ -107,6 +114,23 @@ class DataParallelCluster:
     a cluster-level FIFO queue rather than being force-submitted; engines
     pull from the queue as finish events free batch slots, and the time each
     request spent waiting is stamped on ``request.dispatch_queue_delay``.
+
+    **SLO admission** (``slo_policy``): whenever an arrival would have to
+    queue, the dispatcher estimates its queue wait as ``(fifo position) x``
+    an EWMA of cluster-wide inter-finish intervals (each finish event admits
+    one queued request, so the finish rate *is* the drain rate).  An arrival
+    whose estimate exceeds its TTFT deadline is past the knee: it is either
+    shed (rejected, with accounting) or deprioritized into a low-priority
+    lane that drains only while the FIFO lane is empty — new deadline-
+    feasible arrivals may overtake the low lane, but never the FIFO lane.
+
+    **Heterogeneous fleets**: engines exposing a ``capability()`` probe (a
+    relative throughput weight; see ``ServingEngine.capability``) get every
+    load reading normalized by it, so JSQ/p2c/token-weighted routing and the
+    bounded-affinity spill bound compare *utilization* rather than raw
+    backlog and a fast replica is offered proportionally more work.
+    Saturation is inherently per-replica (each engine's own batch cap) and
+    needs no normalization.  Homogeneous fleets are bit-for-bit unaffected.
 
     Policies (see also the table in :mod:`repro.serving.replica`):
 
@@ -143,6 +167,8 @@ class DataParallelCluster:
         *,
         backpressure: bool = True,
         spill_factor: float = 1.5,
+        slo_policy=None,
+        normalize_capability: bool = True,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         if not engines:
@@ -151,49 +177,125 @@ class DataParallelCluster:
             raise ValueError(f"unknown dispatch policy {policy!r}; pick from {self.POLICIES}")
         if spill_factor < 1.0:
             raise ValueError(f"spill_factor must be >= 1.0, got {spill_factor}")
+        if slo_policy is not None and not backpressure:
+            raise ValueError(
+                "SLO admission needs backpressure: the knee is the global "
+                "queue, which force-submission bypasses")
         self.engines = list(engines)
         self.policy = policy
         self.backpressure = backpressure
         self.spill_factor = spill_factor
+        self.slo_policy = slo_policy
         self.stats = DispatchStats()
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._rr_next = 0
-        self._queue: deque = deque()  # (request, enqueue_time) FIFO
+        self._queue: deque = deque()      # (request, enqueue_time) FIFO lane
+        self._low_queue: deque = deque()  # deprioritized lane (SLO policy)
+        self._shed: list = []             # arrivals rejected by SLO admission
+        # Queue-wait estimator state (cluster-wide inter-finish EWMA).
+        # Finishes sharing one timestamp (a batch completing in one engine
+        # iteration) count as one drain event of that size, not as zero-
+        # length intervals — those would collapse the EWMA at every batch
+        # boundary and make shed decisions track batch phase, not backlog.
+        self._finish_interval_ewma: Optional[float] = None
+        self._last_finish_time: Optional[float] = None
+        self._finish_batch = 0  # finishes observed at _last_finish_time
+        # Per-engine capability weights, normalized to mean 1.0.  Identical
+        # capabilities (or none reported) keep every weight at exactly 1.0
+        # so homogeneous clusters behave bit-for-bit as before.
+        caps = [self._engine_capability(engine) for engine in self.engines]
+        if normalize_capability and max(caps) != min(caps):
+            mean_cap = sum(caps) / len(caps)
+            self._capability = [cap / mean_cap for cap in caps]
+        else:
+            self._capability = [1.0] * len(self.engines)
         # Pull-based dispatch: drain the global queue on finish events.
         for engine in self.engines:
             register = getattr(engine, "on_finish", None)
             if callable(register):
                 register(self._on_engine_finish)
 
+    @staticmethod
+    def _engine_capability(engine) -> float:
+        probe = getattr(engine, "capability", None)
+        cap = float(probe()) if callable(probe) else 1.0
+        if cap <= 0:
+            raise ValueError(f"engine capability must be > 0, got {cap}")
+        return cap
+
     # ------------------------------------------------------------------ #
     # Dispatch path
     # ------------------------------------------------------------------ #
     def dispatch(self, request) -> Optional[int]:
-        """Route ``request``: submit it to an engine, or queue it.
+        """Route ``request``: submit it to an engine, queue it, or shed it.
 
         Returns the engine index, or ``None`` when backpressure held the
-        request in the global queue (it is submitted later, in arrival
-        order, as finish events free capacity).
+        request in a cluster queue (it is submitted later, FIFO lane in
+        arrival order, as finish events free capacity) or the SLO policy
+        shed it (``request.shed`` is set; it never runs).
         """
-        if self.backpressure and (self._queue or self._all_saturated()):
-            # FIFO: nothing may overtake an already-queued arrival.
-            self._queue.append((request, self._now()))
-            self.stats.queued += 1
-            self._drain()
-            return None
-        return self._submit(request)
+        if not (self.backpressure and (self._queue or self._all_saturated())):
+            return self._submit(request)
+        # The arrival must wait: consult the SLO policy before the FIFO
+        # lane commits capacity to a request that cannot meet its deadline.
+        if self.slo_policy is not None:
+            deadline = self.slo_policy.deadline_for(request)
+            if self.estimated_queue_wait() > deadline:
+                if self.slo_policy.mode == "shed":
+                    request.shed = True
+                    self.stats.shed += 1
+                    self._shed.append(request)
+                    return None
+                request.deprioritized = True
+                self.stats.deprioritized += 1
+                self.stats.queued += 1
+                self._low_queue.append((request, self._now()))
+                self._drain()
+                return None
+        # FIFO lane: nothing may overtake an already-queued arrival.
+        self._queue.append((request, self._now()))
+        self.stats.queued += 1
+        self._drain()
+        return None
+
+    def estimated_queue_wait(self) -> float:
+        """Predicted queue wait of the next FIFO arrival, in seconds.
+
+        Each cluster-wide finish event admits one queued request, so the
+        wait of an arrival joining the FIFO lane at position ``k`` (1-based)
+        is about ``k`` inter-finish intervals.  Before any finish has been
+        observed the estimator is optimistic (0.0): cold starts admit.
+        """
+        if self._finish_interval_ewma is None:
+            return 0.0
+        return (len(self._queue) + 1) * self._finish_interval_ewma
 
     def queue_len(self) -> int:
-        """Requests currently held in the global admission queue."""
-        return len(self._queue)
+        """Requests currently waiting at the cluster (both lanes)."""
+        return len(self._queue) + len(self._low_queue)
+
+    def low_queue_len(self) -> int:
+        """Requests currently parked in the deprioritized lane."""
+        return len(self._low_queue)
 
     def pending_requests(self) -> list:
-        """Requests still waiting in the global queue (never dispatched).
+        """Requests still waiting at the cluster (never dispatched).
 
-        Non-empty only when a run stops at a horizon while the cluster is
-        backlogged; accounting must not lose these arrivals.
+        Covers both lanes, FIFO first.  Non-empty only when a run stops at a
+        horizon while the cluster is backlogged; accounting must not lose
+        these arrivals.
         """
-        return [request for request, _ in self._queue]
+        return [request for request, _ in self._queue] + \
+               [request for request, _ in self._low_queue]
+
+    def shed_requests(self) -> list:
+        """Arrivals the SLO policy rejected (they never ran)."""
+        return list(self._shed)
+
+    def capability_weights(self) -> list:
+        """Per-engine relative capability weights used to normalize loads
+        (all 1.0 on a homogeneous fleet or with normalization disabled)."""
+        return list(self._capability)
 
     def _submit(self, request) -> int:
         candidates = None
@@ -213,14 +315,41 @@ class DataParallelCluster:
         return idx
 
     def _on_engine_finish(self, request) -> None:
+        now = self._now()
+        if self._last_finish_time is None:
+            self._last_finish_time = now
+            self._finish_batch = 1
+        elif now == self._last_finish_time:
+            self._finish_batch += 1  # same drain event, defer the sample
+        else:
+            # The previous drain event freed ``_finish_batch`` slots and it
+            # took ``now - last`` until the next one: the per-slot drain
+            # interval is the gap amortized over that batch.
+            interval = (now - self._last_finish_time) / self._finish_batch
+            if self._finish_interval_ewma is None:
+                self._finish_interval_ewma = interval
+            else:
+                alpha = FINISH_INTERVAL_EWMA_ALPHA
+                self._finish_interval_ewma = (
+                    (1.0 - alpha) * self._finish_interval_ewma + alpha * interval
+                )
+            self._last_finish_time = now
+            self._finish_batch = 1
         self._drain()
 
     def _drain(self) -> None:
         while self._queue and not self._all_saturated():
-            request, enqueued_at = self._queue.popleft()
-            request.dispatch_queue_delay = self._now() - enqueued_at
-            self.stats.queue_delays.append(request.dispatch_queue_delay)
-            self._submit(request)
+            self._release(self._queue.popleft())
+        # The low-priority lane drains only while the FIFO lane is empty: a
+        # deprioritized request never delays a deadline-feasible one.
+        while not self._queue and self._low_queue and not self._all_saturated():
+            self._release(self._low_queue.popleft())
+
+    def _release(self, entry) -> None:
+        request, enqueued_at = entry
+        request.dispatch_queue_delay = self._now() - enqueued_at
+        self.stats.queue_delays.append(request.dispatch_queue_delay)
+        self._submit(request)
 
     def _now(self) -> float:
         sim = getattr(self.engines[0], "sim", None)
@@ -238,12 +367,19 @@ class DataParallelCluster:
     # Routing policies
     # ------------------------------------------------------------------ #
     def _load(self, idx: int) -> float:
+        """One engine's load, normalized by its relative capability.
+
+        Dividing by capability turns raw backlog into utilization: a replica
+        twice as fast at the same queue length is half as loaded, so every
+        load-following policy (JSQ, p2c, token-weighted, the bounded-affinity
+        spill bound) routes correctly across a mixed-spec fleet.
+        """
         engine = self.engines[idx]
         if self.policy == "token_weighted":
             probe = getattr(engine, "in_flight_token_load", None)
             if callable(probe):
-                return probe()
-        return engine.in_flight_count()
+                return probe() / self._capability[idx]
+        return engine.in_flight_count() / self._capability[idx]
 
     def _pick(self, request, candidates: Optional[list] = None) -> int:
         """Pick an engine index among ``candidates`` (default: all)."""
@@ -265,9 +401,12 @@ class DataParallelCluster:
                 candidates[int(k)]
                 for k in self._rng.choice(len(candidates), size=2, replace=False)
             )
-            if self._load(i) == self._load(j):
+            # One probe per candidate: load probes walk the engine's running
+            # and queued sets, so re-probing per comparison is wasted work.
+            load_i, load_j = self._load(i), self._load(j)
+            if load_i == load_j:
                 return min(i, j)
-            return i if self._load(i) < self._load(j) else j
+            return i if load_i < load_j else j
         loads = {i: self._load(i) for i in candidates}
         if (
             self.policy in ("adapter_affinity", "bounded_affinity")

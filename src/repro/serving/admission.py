@@ -1,18 +1,86 @@
-"""Admission results and the context schedulers use to build a batch.
+"""Admission control: engine-level batch admission and cluster-level SLO gating.
 
 Keeping all memory/adapter admission logic behind one ``try_admit`` call lets
 every scheduling policy (FIFO, SJF, MLQ) share identical resource semantics —
 the policies differ only in *which* requests they offer and in what order.
+
+:class:`SloPolicy` is the *cluster-level* half of the story: past the SLO
+knee (when the global admission queue is long enough that a new arrival
+cannot meet its TTFT deadline anyway) serving it only burns capacity that
+deadline-feasible requests could use.  The policy either sheds such arrivals
+outright or moves them to a low-priority lane, turning overload into bounded
+goodput loss instead of unbounded tail growth.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.serving.engine import ServingEngine
     from repro.workload.request import Request
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """Cluster-level SLO admission policy (shed or deprioritize past the knee).
+
+    The dispatcher consults the policy whenever an arrival would have to wait
+    in the global admission queue: if the estimated queue wait already
+    exceeds the request's TTFT deadline, admitting it cannot produce a
+    deadline-compliant response, so the policy acts instead of queueing.
+
+    Attributes:
+        ttft_deadline: The TTFT SLO in seconds (e.g. the paper's 5x mean
+            isolated latency).  An arrival whose estimated queue wait exceeds
+            its effective deadline is past the knee.
+        mode: ``"shed"`` rejects the request outright (it never runs, and is
+            counted in ``DispatchStats.shed``); ``"deprioritize"`` moves it
+            to a low-priority lane that the dispatcher drains only while the
+            FIFO lane is empty — it still completes eventually, but never
+            delays a deadline-feasible arrival.
+        slowdown_target: Optional per-request tightening: when set together
+            with ``isolated_ttft``, the effective deadline is
+            ``min(ttft_deadline, slowdown_target * isolated_ttft(request))``
+            so small requests are not admitted into waits that would blow
+            their *relative* slowdown even while beating the absolute SLO.
+        isolated_ttft: Callable mapping a request to its unloaded TTFT
+            estimate in seconds (required when ``slowdown_target`` is set).
+    """
+
+    MODES = ("shed", "deprioritize")
+
+    ttft_deadline: float
+    mode: str = "shed"
+    slowdown_target: Optional[float] = None
+    isolated_ttft: Optional[Callable[["Request"], float]] = None
+
+    def __post_init__(self) -> None:
+        if self.ttft_deadline <= 0:
+            raise ValueError(f"ttft_deadline must be > 0, got {self.ttft_deadline}")
+        if self.mode not in self.MODES:
+            raise ValueError(f"unknown SLO mode {self.mode!r}; pick from {self.MODES}")
+        if self.slowdown_target is not None:
+            if self.slowdown_target <= 0:
+                raise ValueError(
+                    f"slowdown_target must be > 0, got {self.slowdown_target}")
+            if self.isolated_ttft is None:
+                raise ValueError("slowdown_target needs an isolated_ttft estimator")
+
+    def deadline_for(self, request: "Request") -> float:
+        """The effective TTFT deadline of one request, in seconds."""
+        if self.slowdown_target is None or self.isolated_ttft is None:
+            return self.ttft_deadline
+        return min(self.ttft_deadline,
+                   self.slowdown_target * self.isolated_ttft(request))
+
+    def attained(self, request: "Request") -> bool:
+        """True when the request finished within its effective deadline."""
+        if not request.finished or request.first_token_time is None:
+            return False
+        return request.ttft <= self.deadline_for(request)
 
 
 class AdmitResult(enum.Enum):

@@ -157,6 +157,20 @@ class ServingEngine:
     def in_flight_count(self) -> int:
         return len(self._running) + len(self._pending_load) + self.scheduler.queue_len()
 
+    def capability(self) -> float:
+        """Relative serving throughput of this replica (arbitrary units).
+
+        The geometric mean of peak compute (bounds prefill) and HBM
+        bandwidth (bounds decode), scaled by the TP compute speedup — a
+        single scalar a heterogeneity-aware dispatcher can use to normalize
+        load probes across mixed GPU specs.  Only ratios between replicas
+        matter; the cluster renormalizes to mean 1.0.
+        """
+        spec = self.gpu.spec
+        speedup = getattr(self.gpu, "compute_speedup", 1.0)
+        return float(
+            (spec.peak_tflops * spec.mem_bandwidth_bytes) ** 0.5) * speedup
+
     def is_saturated(self) -> bool:
         """True when in-flight work (batch + local queue) is at
         ``max_batch_size`` — a request submitted now could not be admitted

@@ -29,17 +29,33 @@ policy                 routing rule
 ``bounded_affinity``   adapter affinity until the affine replica's load
                        exceeds ``spill_factor`` x the cluster mean, then JSQ
 =====================  =========================================================
+
+Every load probe the table relies on is divided by the replica's relative
+``capability()`` (compute x bandwidth, TP-scaled), so on a **heterogeneous
+fleet** (``replica_specs=``, mixed GPU specs behind one dispatcher) the
+load-following policies compare utilization, not raw backlog; pass
+``normalize_capability=False`` to reproduce spec-oblivious routing.
+
+On top of routing sits the **SLO admission lane** (``slo_policy=``, a
+:class:`~repro.serving.admission.SloPolicy`): arrivals whose estimated
+global-queue wait exceeds their TTFT deadline are shed (rejected with
+accounting) or deprioritized into a low-priority lane drained only while
+the FIFO lane is empty.  Goodput, shed rate and SLO attainment surface in
+``summary().extra``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.hardware.cluster import DataParallelCluster
+from repro.hardware.gpu import GpuSpec
 from repro.metrics.summary import RunSummary, percentile, summarize_run
+from repro.serving.admission import SloPolicy
+from repro.serving.engine import EngineConfig
 from repro.sim.simulator import Simulator
 from repro.workload.request import Request, RequestState
 
@@ -51,49 +67,80 @@ class MultiReplicaSystem:
     replicas: list
     cluster: DataParallelCluster
     sim: Simulator
+    slo_policy: Optional[SloPolicy] = None
 
     @classmethod
     def build(
         cls,
         preset: str,
-        n_replicas: int,
+        n_replicas: Optional[int] = None,
         dispatch_policy: str = "least_loaded",
         *,
         backpressure: bool = True,
         spill_factor: float = 1.5,
+        slo_policy: Optional[SloPolicy] = None,
+        replica_specs: Optional[Sequence] = None,
+        normalize_capability: bool = True,
         seed: int = 0,
         **build_kwargs,
     ) -> "MultiReplicaSystem":
-        """Build ``n_replicas`` copies of ``preset`` on one shared clock.
+        """Build ``n_replicas`` replicas of ``preset`` on one shared clock.
 
         Accepts the same keyword arguments as
         :func:`repro.systems.build_system`.  Replica ``i`` is built with
         ``seed + i`` so per-replica RNG streams (predictor noise, ...) are
         decorrelated; the dispatcher's own randomness (p2c sampling) derives
         from the base ``seed``.
+
+        ``replica_specs`` makes the fleet heterogeneous: one entry per
+        replica, each a :class:`GpuSpec`, a GPU-zoo name (``"a100-80gb"``),
+        an :class:`EngineConfig`, or a dict of ``build_system`` overrides
+        (e.g. ``{"gpu": "a40-48gb", "engine_config": ...}``); ``None``
+        entries keep the shared defaults.  ``n_replicas`` may be omitted
+        when ``replica_specs`` determines the fleet size.
         """
         from repro.systems import build_system  # local import: avoid cycle
 
+        if replica_specs is not None:
+            replica_specs = list(replica_specs)
+            if n_replicas is None:
+                n_replicas = len(replica_specs)
+            elif n_replicas != len(replica_specs):
+                raise ValueError(
+                    f"replica_specs has {len(replica_specs)} entries but "
+                    f"n_replicas={n_replicas}")
+        if n_replicas is None:
+            raise ValueError("pass n_replicas or replica_specs")
         if n_replicas < 1:
             raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
         sim = Simulator()
-        replicas = [
-            build_system(preset, sim=sim, seed=seed + i, **build_kwargs)
-            for i in range(n_replicas)
-        ]
+        replicas = []
+        for i in range(n_replicas):
+            overrides = _replica_overrides(
+                replica_specs[i] if replica_specs is not None else None)
+            replicas.append(build_system(
+                preset, sim=sim, seed=seed + i,
+                **{**build_kwargs, **overrides}))
         cluster = DataParallelCluster(
             [system.engine for system in replicas],
             policy=dispatch_policy,
             backpressure=backpressure,
             spill_factor=spill_factor,
+            slo_policy=slo_policy,
+            normalize_capability=normalize_capability,
             rng=np.random.default_rng(seed),
         )
-        return cls(replicas=replicas, cluster=cluster, sim=sim)
+        return cls(replicas=replicas, cluster=cluster, sim=sim,
+                   slo_policy=slo_policy)
 
     # ------------------------------------------------------------------ #
     @property
     def engines(self) -> list:
         return [system.engine for system in self.replicas]
+
+    def capabilities(self) -> list[float]:
+        """Normalized per-replica capability weights (mean 1.0)."""
+        return self.cluster.capability_weights()
 
     def run_trace(self, requests, horizon: Optional[float] = None) -> None:
         """Dispatch every arrival through the global scheduler and run."""
@@ -107,11 +154,12 @@ class MultiReplicaSystem:
         self.sim.run(until=horizon)
 
     def all_requests(self) -> list[Request]:
-        """Every arrival: dispatched to an engine *or* still in the global
-        queue (a horizon can stop a backlogged run mid-queue — those
-        arrivals must not vanish from accounting)."""
+        """Every arrival: dispatched to an engine, still in a cluster queue
+        (a horizon can stop a backlogged run mid-queue), *or* shed by the
+        SLO policy — accounting must not lose any of them."""
         dispatched = [r for engine in self.engines for r in engine.all_requests]
-        return dispatched + self.cluster.pending_requests()
+        return dispatched + self.cluster.pending_requests() \
+            + self.cluster.shed_requests()
 
     def summary(self, **kwargs) -> RunSummary:
         """Cluster-wide :class:`RunSummary` with DP extensions in ``extra``:
@@ -121,6 +169,16 @@ class MultiReplicaSystem:
         percentiles (0 for requests that never waited in the global queue).
         The delay percentiles cover the same population as the latency
         columns: finished requests arriving after ``warmup``.
+
+        With an :class:`SloPolicy` attached, ``extra`` also carries the SLO
+        accounting: ``cluster_shed`` / ``cluster_deprioritized`` counts,
+        ``shed_rate`` (shed / post-warmup arrivals),
+        ``cluster_slo_attainment`` (deadline-compliant completions /
+        post-warmup arrivals — shed and unfinished requests count against
+        it, and per-request deadlines apply; distinct from the
+        finished-only ``RunSummary.slo_attainment`` field), and
+        ``goodput_rps`` (deadline-compliant completions per second over
+        the same span the ``completed_rps`` column uses).
         """
         requests = self.all_requests()
         summary = summarize_run(requests, **kwargs)
@@ -139,7 +197,23 @@ class MultiReplicaSystem:
             p99_dispatch_queue_delay=percentile(delays, 99),
             cluster_queued=self.cluster.stats.queued,
             affinity_spills=self.cluster.stats.spills,
+            cluster_shed=self.cluster.stats.shed,
+            cluster_deprioritized=self.cluster.stats.deprioritized,
         )
+        if self.slo_policy is not None:
+            arrivals = [r for r in requests if r.arrival_time >= warmup]
+            done = [r for r in arrivals if r.finished]
+            attained = [r for r in done if self.slo_policy.attained(r)]
+            shed = sum(1 for r in arrivals if r.shed)
+            span = kwargs.get("duration")
+            if span is None:
+                span = max((r.finish_time for r in done), default=0.0)
+            summary.extra.update(
+                shed_rate=shed / len(arrivals) if arrivals else float("nan"),
+                cluster_slo_attainment=(
+                    len(attained) / len(arrivals) if arrivals else float("nan")),
+                goodput_rps=len(attained) / span if span > 0 else 0.0,
+            )
         return summary
 
     def per_replica_counts(self) -> list[int]:
@@ -184,3 +258,18 @@ class MultiReplicaSystem:
     def dispatch_queue_delays(self) -> list[float]:
         """Per-request global-queue delays (0 for directly-dispatched)."""
         return [r.dispatch_queue_delay for r in self.all_requests()]
+
+
+def _replica_overrides(spec) -> dict:
+    """Normalize one ``replica_specs`` entry to ``build_system`` overrides."""
+    if spec is None:
+        return {}
+    if isinstance(spec, (GpuSpec, str)):
+        return {"gpu": spec}
+    if isinstance(spec, EngineConfig):
+        return {"engine_config": spec}
+    if isinstance(spec, dict):
+        return dict(spec)
+    raise TypeError(
+        f"replica spec must be a GpuSpec, GPU name, EngineConfig, dict or "
+        f"None, got {type(spec).__name__}")

@@ -33,7 +33,7 @@ from repro.core.eviction import make_policy
 from repro.core.mlq import MlqConfig, MlqScheduler
 from repro.core.wrs import WorkloadBounds, WrsParams
 from repro.hardware.cluster import TensorParallelGroup
-from repro.hardware.gpu import A40_48GB, GpuDevice, GpuSpec
+from repro.hardware.gpu import A40_48GB, GPU_ZOO, GpuDevice, GpuSpec
 from repro.hardware.pcie import PcieLink, PcieSpec
 from repro.llm.costmodel import CostModel, CostModelParams
 from repro.llm.model import LLAMA_7B, ModelSpec
@@ -89,6 +89,18 @@ class System:
         return self.engine.summary(**kwargs)
 
 
+def resolve_gpu(name: "GpuSpec | str") -> GpuSpec:
+    """Resolve a GPU-zoo name to its spec (specs pass through unchanged)."""
+    if isinstance(name, GpuSpec):
+        return name
+    try:
+        return GPU_ZOO[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown GPU {name!r}; choose from {sorted(GPU_ZOO)}"
+        ) from None
+
+
 def default_bounds(
     registry: AdapterRegistry,
     profile: TraceProfile = SPLITWISE_PROFILE,
@@ -105,7 +117,7 @@ def build_system(
     preset: str,
     *,
     model: ModelSpec = LLAMA_7B,
-    gpu: GpuSpec = A40_48GB,
+    gpu: "GpuSpec | str" = A40_48GB,
     gpu_memory_bytes: Optional[int] = None,
     tp_degree: int = 1,
     registry: Optional[AdapterRegistry] = None,
@@ -127,10 +139,14 @@ def build_system(
     SLO (5x mean isolated latency).  ``predictor_accuracy=None`` disables the
     predictor (only valid for presets that do not need predictions).
     Pass a shared ``sim`` to co-schedule several systems on one clock
-    (data-parallel replicas).
+    (data-parallel replicas).  ``gpu`` also accepts a GPU-zoo name (e.g.
+    ``"a100-80gb"``), which is how heterogeneous replica specs and the CLI
+    name mixed fleets.
     """
     if preset not in PRESETS:
         raise ValueError(f"unknown preset {preset!r}; choose from {PRESETS}")
+    if isinstance(gpu, str):
+        gpu = resolve_gpu(gpu)
 
     sim = sim if sim is not None else Simulator()
     rng = RngStreams(seed)

@@ -56,6 +56,8 @@ class Request:
     token_cost: int = 0                   # MLQ quota tokens charged
     squash_count: int = 0                 # times squashed by the bypass logic
     dispatch_queue_delay: float = 0.0     # seconds held in the cluster queue
+    shed: bool = False                    # rejected by cluster SLO admission
+    deprioritized: bool = False           # moved to the cluster's low lane
 
     # -- timeline stamps -------------------------------------------------#
     enqueue_time: Optional[float] = None

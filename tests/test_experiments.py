@@ -9,9 +9,9 @@ from repro.experiments.common import standard_registry, standard_trace, trace_sl
 
 def test_registry_covers_all_figures():
     expected = {f"fig{n:02d}" for n in (2, 3, 4, 5, 6, 7, 8)} | {
-        f"fig{n}" for n in range(11, 27)} | {
+        f"fig{n}" for n in range(11, 28)} | {
         "abl_wrs_degree", "abl_eviction_weights", "abl_gdsf",
-        "abl_load_stall", "abl_dp_dispatch"}
+        "abl_load_stall", "abl_dp_dispatch", "abl_slo_admission"}
     assert set(list_experiments()) == expected
 
 
@@ -117,3 +117,29 @@ def test_fig22_structure():
     assert {row["load"] for row in result.rows} == {"low", "high"}
     for row in result.rows:
         assert row["chameleon_norm"] > 0
+
+
+def test_abl_slo_admission_structure():
+    result = get_experiment("abl_slo_admission")(
+        rps=30.0, duration=30.0, warmup=5.0, n_replicas=2)
+    by_mode = {row["mode"]: row for row in result.rows}
+    assert set(by_mode) == {"none", "shed", "deprioritize"}
+    assert by_mode["none"]["shed"] == 0
+    assert by_mode["shed"]["shed"] > 0
+    assert by_mode["deprioritize"]["deprioritized"] > 0
+    # Past the knee, admission control protects goodput.
+    assert by_mode["shed"]["goodput_rps"] > by_mode["none"]["goodput_rps"]
+    for row in result.rows:
+        assert 0.0 <= row["slo_attainment"] <= 1.0
+
+
+def test_fig27_structure():
+    result = get_experiment("fig27")(rps=36.0, duration=25.0, warmup=5.0)
+    assert len(result.rows) == 4  # 2 policies x {raw, normalized}
+    assert {row["policy"] for row in result.rows} == {"least_loaded", "p2c"}
+    for row in result.rows:
+        assert row["p99_ttft_s"] > 0
+        assert row["load_imbalance"] >= 1.0
+    weights = result.params["capability_weights"]
+    assert len(weights) == 4
+    assert weights[0] > 1.0 > weights[-1]

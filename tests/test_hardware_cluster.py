@@ -311,6 +311,118 @@ def test_dp_backpressure_disabled_force_submits():
     assert engines[0].in_flight + engines[1].in_flight == 4
 
 
+# --------------------------------------------------------------------- #
+# Capability-normalized routing (heterogeneous fleets)
+# --------------------------------------------------------------------- #
+class _CapEngine(_FakeEngine):
+    def __init__(self, load, cap):
+        super().__init__(load)
+        self._cap = cap
+
+    def capability(self):
+        return self._cap
+
+
+def test_capability_weights_normalize_to_mean_one():
+    engines = [_CapEngine(0, 2.0), _CapEngine(0, 1.0)]
+    cluster = DataParallelCluster(engines, policy="least_loaded")
+    assert cluster.capability_weights() == pytest.approx([4 / 3, 2 / 3])
+
+
+def test_homogeneous_capabilities_stay_exactly_one():
+    # Equal capabilities must not perturb loads even by float rounding —
+    # homogeneous clusters behave bit-for-bit as before.
+    engines = [_CapEngine(0, 3.7) for _ in range(3)]
+    cluster = DataParallelCluster(engines, policy="least_loaded")
+    assert cluster.capability_weights() == [1.0, 1.0, 1.0]
+
+
+def test_engines_without_probe_default_to_one():
+    cluster = DataParallelCluster([_FakeEngine(0), _FakeEngine(0)],
+                                  policy="least_loaded")
+    assert cluster.capability_weights() == [1.0, 1.0]
+
+
+def test_normalized_jsq_prefers_fast_replica():
+    # Engine 0 is twice as capable and holds 4 in flight; engine 1 holds 3.
+    # Raw JSQ picks engine 1; utilization says engine 0 is less loaded.
+    engines = [_CapEngine(4, 2.0), _CapEngine(3, 1.0)]
+    cluster = DataParallelCluster(engines, policy="least_loaded")
+    assert cluster.dispatch(_FakeRequest()) == 0
+    raw = DataParallelCluster([_CapEngine(4, 2.0), _CapEngine(3, 1.0)],
+                              policy="least_loaded",
+                              normalize_capability=False)
+    assert raw.dispatch(_FakeRequest()) == 1
+
+
+def test_normalized_token_weighted_load():
+    class _CapTokenEngine(_CapEngine):
+        def __init__(self, load, token_load, cap):
+            super().__init__(load, cap)
+            self._token_load = token_load
+
+        def in_flight_token_load(self):
+            return self._token_load
+
+    # 8000 tokens on a 2x replica is lighter than 5000 on a 1x replica.
+    engines = [_CapTokenEngine(1, 8000, 2.0), _CapTokenEngine(1, 5000, 1.0)]
+    cluster = DataParallelCluster(engines, policy="token_weighted")
+    assert cluster.dispatch(_FakeRequest()) == 0
+
+
+def test_non_positive_capability_rejected():
+    with pytest.raises(ValueError):
+        DataParallelCluster([_CapEngine(0, 0.0)], policy="least_loaded")
+
+
+def test_bounded_affinity_bound_uses_normalized_loads():
+    class _ResidentCap(_CapEngine):
+        def is_resident(self, adapter_id):
+            return True
+
+    # Affine replica holds 6 at 2x capability: normalized load 6/1.333=4.5.
+    # Peers hold 3 at 1x: normalized 4.5 each.  Mean 4.5, bound 6.75: hold.
+    engines = [_ResidentCap(6, 2.0), _CapEngine(3, 1.0), _CapEngine(3, 1.0)]
+    cluster = DataParallelCluster(engines, policy="bounded_affinity",
+                                  spill_factor=1.5)
+    assert cluster.dispatch(_FakeRequest(adapter_id=3)) == 0
+    assert cluster.stats.spills == 0
+    # The raw-load view (6 vs 3, mean 4, bound 6) would have spilled.
+    raw = DataParallelCluster(
+        [_ResidentCap(6, 2.0), _CapEngine(3, 1.0), _CapEngine(3, 1.0)],
+        policy="bounded_affinity", spill_factor=1.4,
+        normalize_capability=False)
+    assert raw.dispatch(_FakeRequest(adapter_id=3)) != 0
+    assert raw.stats.spills == 1
+
+
+# --------------------------------------------------------------------- #
+# p2c probes each sampled candidate exactly once
+# --------------------------------------------------------------------- #
+class _CountingEngine(_FakeEngine):
+    def __init__(self, load):
+        super().__init__(load)
+        self.probes = 0
+
+    def in_flight_count(self):
+        self.probes += 1
+        return self._load
+
+
+def test_p2c_probes_each_candidate_once():
+    engines = [_CountingEngine(3), _CountingEngine(1)]
+    cluster = DataParallelCluster(engines, policy="p2c")
+    assert cluster._pick(_FakeRequest()) == 1
+    assert [e.probes for e in engines] == [1, 1]
+
+
+def test_p2c_probes_once_even_on_ties():
+    engines = [_CountingEngine(2), _CountingEngine(2)]
+    cluster = DataParallelCluster(engines, policy="p2c")
+    assert cluster._pick(_FakeRequest()) == 0  # tie breaks to the low index
+    assert [e.probes for e in engines] == [1, 1]
+
+
 def test_dp_fifo_no_overtaking_while_queue_nonempty():
     # Even if capacity opens without a finish event having drained the queue,
     # a new arrival must not overtake the queued head.

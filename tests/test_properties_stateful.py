@@ -1,6 +1,8 @@
 """Property-based tests over the stateful components: the adapter managers'
 accounting under random acquire/release sequences, the MLQ's quota ledger
-under random scheduling episodes, and the cost model's monotonicity."""
+under random scheduling episodes, the cost model's monotonicity, and the
+data-parallel dispatcher's invariants under random arrival/finish
+interleavings (for every dispatch policy and SLO admission mode)."""
 
 import numpy as np
 import pytest
@@ -11,12 +13,13 @@ from repro.adapters.registry import AdapterRegistry
 from repro.core.cache import ChameleonCacheManager
 from repro.core.mlq import MlqConfig, MlqScheduler
 from repro.core.wrs import WorkloadBounds
+from repro.hardware.cluster import DataParallelCluster
 from repro.hardware.gpu import A40_48GB, GpuDevice
 from repro.hardware.pcie import PcieLink, PcieSpec
 from repro.llm.costmodel import CostModel
 from repro.llm.model import LLAMA_7B
 from repro.serving.adapter_manager import AdapterState, SloraAdapterManager
-from repro.serving.admission import AdmitResult
+from repro.serving.admission import AdmitResult, SloPolicy
 from repro.sim.simulator import Simulator
 from repro.workload.request import Request, RequestState
 
@@ -146,6 +149,145 @@ def test_mlq_ledger_conserved(specs, admit_probability, seed):
     assert sum(mlq._adapter_active.values()) == 0
     # Whatever was not admitted is still queued exactly once.
     assert mlq.queue_len() == len(requests) - len(set(map(id, ctx.admitted)))
+
+
+# --------------------------------------------------------------------- #
+# Data-parallel dispatch under random arrival/finish interleavings
+# --------------------------------------------------------------------- #
+class _StepSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+class _SatEngine:
+    """A saturable fake engine that *asserts* the backpressure contract: a
+    dispatcher with backpressure on must never submit to it while it is
+    saturated (the global queue exists precisely to prevent that)."""
+
+    def __init__(self, capacity, sim, submit_log):
+        self.capacity = capacity
+        self.sim = sim
+        self.submitted = []
+        self.in_flight = []
+        self._submit_log = submit_log
+        self._callbacks = []
+        self.adapter_manager = self
+
+    def in_flight_count(self):
+        return len(self.in_flight)
+
+    def is_resident(self, adapter_id):
+        # A fixed residency pattern so affinity policies take both branches.
+        return adapter_id is not None and adapter_id % 2 == 0
+
+    def is_saturated(self):
+        return len(self.in_flight) >= self.capacity
+
+    def on_finish(self, callback):
+        self._callbacks.append(callback)
+
+    def submit(self, request):
+        assert not self.is_saturated(), \
+            "submitted to a saturated engine (unsaturated peers may exist)"
+        self.submitted.append(request)
+        self.in_flight.append(request)
+        self._submit_log.append(request)
+
+    def finish_one(self):
+        request = self.in_flight.pop(0)
+        for callback in self._callbacks:
+            callback(request)
+
+
+def _interleavings():
+    """Random op sequences: arrivals (with an adapter draw) and finishes."""
+    return st.lists(
+        st.tuples(st.sampled_from(["arrive", "finish"]),
+                  st.integers(min_value=0, max_value=7)),
+        min_size=1, max_size=60,
+    )
+
+
+def _run_interleaving(policy, ops, n_engines, capacity, slo_policy=None):
+    sim = _StepSim()
+    submit_log: list = []
+    engines = [_SatEngine(capacity, sim, submit_log) for _ in range(n_engines)]
+    cluster = DataParallelCluster(
+        engines, policy=policy, slo_policy=slo_policy,
+        rng=np.random.default_rng(7))
+    arrived: list = []
+    queued_order: list = []
+    for kind, draw in ops:
+        if kind == "arrive":
+            request = Request(
+                request_id=len(arrived), arrival_time=sim.now,
+                input_tokens=10, output_tokens=2,
+                adapter_id=draw if draw < 4 else None)
+            arrived.append(request)
+            before = cluster.queue_len()
+            index = cluster.dispatch(request)
+            if index is None and cluster.queue_len() > before \
+                    and not request.deprioritized:
+                queued_order.append(request)
+        else:
+            busy = [e for e in engines if e.in_flight]
+            if busy:
+                busy[draw % len(busy)].finish_one()
+        sim.now += 0.25
+
+        # Conservation: every arrival is in exactly one place — submitted to
+        # exactly one engine, still pending at the cluster, or shed.
+        in_engines = [r.request_id for e in engines for r in e.submitted]
+        pending = [r.request_id for r in cluster.pending_requests()]
+        shed = [r.request_id for r in cluster.shed_requests()]
+        assert len(in_engines) == len(set(in_engines))
+        assert sorted(in_engines + pending + shed) == \
+            [r.request_id for r in arrived]
+        # Stats mirror the same identity.
+        assert cluster.stats.dispatched + cluster.queue_len() \
+            + cluster.stats.shed == len(arrived)
+        # No engine is ever pushed past its capacity.
+        assert all(len(e.in_flight) <= e.capacity for e in engines)
+    return submit_log, queued_order
+
+
+@pytest.mark.parametrize("policy", DataParallelCluster.POLICIES)
+@given(ops=_interleavings(),
+       n_engines=st.integers(min_value=2, max_value=4),
+       capacity=st.integers(min_value=1, max_value=3))
+@settings(max_examples=25, deadline=None)
+def test_dispatch_interleavings_conserve_requests(policy, ops, n_engines, capacity):
+    submit_log, queued_order = _run_interleaving(policy, ops, n_engines, capacity)
+    # FIFO: requests that went through the global queue are submitted in
+    # queue-entry order — nothing overtakes the queued head.
+    queued_ids = {r.request_id for r in queued_order}
+    released = [r.request_id for r in submit_log if r.request_id in queued_ids]
+    expected = [r.request_id for r in queued_order if r.request_id in set(released)]
+    assert released == expected
+
+
+@pytest.mark.parametrize("mode", SloPolicy.MODES)
+@given(ops=_interleavings(),
+       policy=st.sampled_from(DataParallelCluster.POLICIES),
+       deadline=st.floats(min_value=0.05, max_value=2.0),
+       capacity=st.integers(min_value=1, max_value=2))
+@settings(max_examples=25, deadline=None)
+def test_slo_interleavings_conserve_requests(mode, ops, policy, deadline, capacity):
+    slo_policy = SloPolicy(ttft_deadline=deadline, mode=mode)
+    submit_log, queued_order = _run_interleaving(
+        policy, ops, n_engines=3, capacity=capacity, slo_policy=slo_policy)
+    # Deprioritized arrivals never overtake the FIFO lane: among submitted
+    # requests, a FIFO-lane request enqueued before a low-lane request that
+    # was parked at that time is released first (checked per-step above via
+    # conservation; here we check shed requests never ran at all).
+    assert all(not r.shed for r in submit_log)
+    # The FIFO lane keeps its no-overtake guarantee under SLO admission:
+    # FIFO-lane requests are released in queue-entry order (deprioritized
+    # arrivals are excluded from queued_order — they may be overtaken).
+    queued_ids = {r.request_id for r in queued_order}
+    released = [r.request_id for r in submit_log if r.request_id in queued_ids]
+    expected = [r.request_id for r in queued_order if r.request_id in set(released)]
+    assert released == expected
 
 
 # --------------------------------------------------------------------- #

@@ -311,3 +311,93 @@ def test_on_finish_hook_fires_per_completion():
     requests = [_req(rid=0, out=2), _req(rid=1, arrival=0.01, out=2)]
     engine.run_trace(requests)
     assert sorted(r.request_id for r in finished) == [0, 1]
+
+
+# --------------------------------------------------------------------- #
+# Finish hooks that resubmit (the cluster drain path)
+# --------------------------------------------------------------------- #
+def test_finish_hook_drain_does_not_double_finish():
+    """Regression for the PR 1 mid-iteration double-finish bug: a finish
+    hook that submits new work (exactly what the cluster's queue drain
+    does) kicks a fresh iteration from inside the finish path — that
+    iteration must not capture requests that are finished but not yet
+    removed from the batch, finishing them twice."""
+    engine = make_engine(config=EngineConfig(max_batch_size=2))
+    first, second = _req(rid=0, out=3), _req(rid=1, out=3)
+    late = _req(rid=2, out=2)
+    finished_ids = []
+    resubmitted = []
+
+    def drain_like_hook(request):
+        finished_ids.append(request.request_id)
+        if not resubmitted:
+            resubmitted.append(True)
+            engine.submit(late)  # a freed slot pulls queued work immediately
+
+    engine.on_finish(drain_like_hook)
+    engine.run_trace([first, second])  # same size: they finish together
+    assert sorted(finished_ids) == [0, 1, 2]  # each finished exactly once
+    assert all(r.finished for r in (first, second, late))
+    assert len(engine.all_requests) == 3
+
+
+def test_finish_hook_chain_of_resubmissions_each_finish_once():
+    """A drain that refills the batch on every finish (sustained cluster
+    backpressure) must still finish every request exactly once."""
+    engine = make_engine(config=EngineConfig(max_batch_size=2))
+    backlog = [_req(rid=10 + i, out=2) for i in range(4)]
+    finished_ids = []
+
+    def hook(request):
+        finished_ids.append(request.request_id)
+        if backlog:
+            engine.submit(backlog.pop(0))
+
+    engine.on_finish(hook)
+    engine.run_trace([_req(rid=0, out=2), _req(rid=1, out=3)])
+    assert sorted(finished_ids) == [0, 1, 10, 11, 12, 13]
+    assert len(finished_ids) == len(set(finished_ids))
+
+
+# --------------------------------------------------------------------- #
+# Capability (heterogeneous-fleet load normalization)
+# --------------------------------------------------------------------- #
+def test_capability_ratio_tracks_gpu_specs():
+    from repro.hardware.gpu import A100_80GB
+
+    a40 = make_engine()
+    sim = Simulator()
+    gpu = GpuDevice(A100_80GB)
+    link = PcieLink(sim, PcieSpec())
+    registry = AdapterRegistry.build(LLAMA_7B, 5)
+    a100 = ServingEngine(
+        sim=sim, gpu=gpu, link=link, model=LLAMA_7B,
+        cost_model=CostModel(LLAMA_7B, A100_80GB),
+        registry=registry, scheduler=FifoScheduler(),
+        adapter_manager=SloraAdapterManager(sim, gpu, link, registry),
+        predictor=None, config=EngineConfig(),
+    )
+    expected = ((A100_80GB.peak_tflops * A100_80GB.mem_bandwidth_bytes)
+                / (A40_48GB.peak_tflops * A40_48GB.mem_bandwidth_bytes)) ** 0.5
+    assert a100.capability() / a40.capability() == pytest.approx(expected)
+    assert a40.capability() > 0
+
+
+def test_capability_scales_with_tp_speedup():
+    from repro.hardware.cluster import TensorParallelGroup
+
+    sim = Simulator()
+    group = TensorParallelGroup(A40_48GB, tp_degree=2)
+    link = PcieLink(sim, PcieSpec())
+    registry = AdapterRegistry.build(LLAMA_7B, 5)
+    engine = ServingEngine(
+        sim=sim, gpu=group, link=link, model=LLAMA_7B,
+        cost_model=CostModel(LLAMA_7B, A40_48GB,
+                             compute_speedup=group.compute_speedup),
+        registry=registry, scheduler=FifoScheduler(),
+        adapter_manager=SloraAdapterManager(sim, group, link, registry),
+        predictor=None, config=EngineConfig(),
+    )
+    single = make_engine()
+    assert engine.capability() / single.capability() == pytest.approx(
+        group.compute_speedup)

@@ -248,3 +248,180 @@ def test_aggregate_hit_rate_is_lookup_weighted(cluster, dp_trace):
     hits = sum(s.hits for s in stats)
     lookups = sum(s.hits + s.misses + s.overlapped for s in stats)
     assert cluster.aggregate_hit_rate() == pytest.approx(hits / lookups)
+
+
+# --------------------------------------------------------------------- #
+# summary().extra math against hand-computed values
+# --------------------------------------------------------------------- #
+def _tiny_burst(n, spacing=0.0):
+    return [
+        Request(request_id=i, arrival_time=i * spacing,
+                input_tokens=50, output_tokens=2)
+        for i in range(n)
+    ]
+
+
+def test_load_imbalance_hand_computed(big_registry):
+    cluster = MultiReplicaSystem.build(
+        "slora", n_replicas=2, dispatch_policy="round_robin",
+        registry=big_registry, predictor_accuracy=None, seed=0)
+    cluster.run_trace(_tiny_burst(3, spacing=0.5))
+    counts = cluster.per_replica_counts()
+    assert sorted(counts) == [1, 2]
+    # max/mean = 2 / 1.5 = 4/3 exactly.
+    assert cluster.summary().extra["load_imbalance"] == pytest.approx(4 / 3)
+    assert cluster.load_imbalance() == pytest.approx(4 / 3)
+
+
+def test_aggregate_hit_rate_hand_computed_weighting(big_registry):
+    cluster = MultiReplicaSystem.build(
+        "chameleon", n_replicas=2, registry=big_registry, seed=0)
+    stats0 = cluster.replicas[0].adapter_manager.stats
+    stats1 = cluster.replicas[1].adapter_manager.stats
+    stats0.hits, stats0.misses, stats0.overlapped = 3, 1, 0   # rate 0.75, 4 lookups
+    stats1.hits, stats1.misses, stats1.overlapped = 0, 1, 0   # rate 0.00, 1 lookup
+    # Lookup-weighted: (3+0) / (4+1) = 0.6, not the unweighted mean 0.375.
+    assert cluster.aggregate_hit_rate() == pytest.approx(0.6)
+    assert cluster.mean_hit_rate() == pytest.approx((0.75 + 0.0) / 2)
+    assert cluster.summary().extra["aggregate_hit_rate"] == pytest.approx(0.6)
+
+
+def test_dispatch_queue_delay_percentiles_hand_computed(big_registry):
+    cluster = MultiReplicaSystem.build(
+        "slora", n_replicas=2, registry=big_registry,
+        predictor_accuracy=None, seed=0)
+    cluster.run_trace(_tiny_burst(4, spacing=0.5))
+    done = [r for r in cluster.all_requests() if r.finished]
+    assert len(done) == 4
+    for request, delay in zip(sorted(done, key=lambda r: r.request_id),
+                              (0.0, 0.0, 2.0, 4.0)):
+        request.dispatch_queue_delay = delay
+    extra = cluster.summary().extra
+    # np.percentile with linear interpolation over [0, 0, 2, 4]:
+    # p50 -> index 1.5 -> 1.0; p99 -> index 2.97 -> 2 + 0.97*2 = 3.94.
+    assert extra["p50_dispatch_queue_delay"] == pytest.approx(1.0)
+    assert extra["p99_dispatch_queue_delay"] == pytest.approx(3.94)
+
+
+def test_slo_summary_fields_hand_computed(big_registry):
+    from repro.serving.admission import SloPolicy
+
+    cluster = MultiReplicaSystem.build(
+        "slora", n_replicas=2, registry=big_registry,
+        predictor_accuracy=None, seed=0,
+        slo_policy=SloPolicy(ttft_deadline=100.0))
+    cluster.run_trace(_tiny_burst(4, spacing=0.5))
+    summary = cluster.summary(duration=10.0)
+    extra = summary.extra
+    # An unloaded run beats a 100s deadline everywhere: no sheds, full
+    # attainment, goodput = 4 completions over the stated 10s window.
+    assert extra["cluster_shed"] == 0
+    assert extra["shed_rate"] == 0.0
+    assert extra["cluster_slo_attainment"] == 1.0
+    assert extra["goodput_rps"] == pytest.approx(0.4)
+    # Without an explicit duration the span is the last finish time.
+    extra2 = cluster.summary().extra
+    last_finish = max(r.finish_time for r in cluster.all_requests())
+    assert extra2["goodput_rps"] == pytest.approx(4 / last_finish)
+
+
+def test_slo_attainment_counts_shed_against(big_registry):
+    from repro.serving.admission import SloPolicy
+    from repro.serving.engine import EngineConfig as EC
+
+    cluster = MultiReplicaSystem.build(
+        "slora", n_replicas=2, registry=big_registry,
+        predictor_accuracy=None, seed=0,
+        slo_policy=SloPolicy(ttft_deadline=0.05, mode="shed"),
+        engine_config=EC(max_batch_size=1))
+    # Spaced arrivals with varied lengths: finish events establish the
+    # wait estimator while the cluster is still overloaded, so later
+    # arrivals are shed.
+    burst = [
+        Request(request_id=i, arrival_time=0.25 * i,
+                input_tokens=500, output_tokens=20 + (i % 4) * 15)
+        for i in range(16)
+    ]
+    cluster.run_trace(burst)
+    extra = cluster.summary().extra
+    shed = extra["cluster_shed"]
+    assert shed > 0
+    assert extra["shed_rate"] == pytest.approx(shed / 16)
+    done = [r for r in cluster.all_requests() if r.finished]
+    attained = [r for r in done if r.ttft <= 0.05]
+    assert extra["cluster_slo_attainment"] == pytest.approx(len(attained) / 16)
+    assert len(cluster.all_requests()) == 16  # shed arrivals stay visible
+
+
+# --------------------------------------------------------------------- #
+# Heterogeneous replica specs
+# --------------------------------------------------------------------- #
+def test_replica_specs_build_mixed_fleet(big_registry):
+    cluster = MultiReplicaSystem.build(
+        "chameleon", registry=big_registry, seed=0,
+        replica_specs=("a100-80gb", "a40-48gb"))
+    assert len(cluster.replicas) == 2
+    assert cluster.replicas[0].gpu.spec.name == "a100-80gb"
+    assert cluster.replicas[1].gpu.spec.name == "a40-48gb"
+    weights = cluster.capabilities()
+    assert weights[0] > 1.0 > weights[1]
+    assert sum(weights) == pytest.approx(2.0)
+
+
+def test_replica_specs_accept_gpuspec_and_engine_config(big_registry):
+    from repro.hardware.gpu import A100_80GB
+    from repro.serving.engine import EngineConfig as EC
+
+    cluster = MultiReplicaSystem.build(
+        "chameleon", registry=big_registry, seed=0,
+        replica_specs=(A100_80GB, EC(max_batch_size=7), None))
+    assert cluster.replicas[0].gpu.spec.name == "a100-80gb"
+    assert cluster.engines[1].config.max_batch_size == 7
+    assert cluster.engines[2].config.max_batch_size == 256  # default kept
+
+
+def test_replica_specs_dict_overrides(big_registry):
+    from repro.serving.engine import EngineConfig as EC
+
+    cluster = MultiReplicaSystem.build(
+        "chameleon", registry=big_registry, seed=0,
+        replica_specs=(
+            {"gpu": "a100-80gb", "engine_config": EC(max_batch_size=9)},
+            {},
+        ))
+    assert cluster.replicas[0].gpu.spec.name == "a100-80gb"
+    assert cluster.engines[0].config.max_batch_size == 9
+    assert cluster.replicas[1].gpu.spec.name == "a40-48gb"
+
+
+def test_replica_specs_length_mismatch_raises(big_registry):
+    with pytest.raises(ValueError):
+        MultiReplicaSystem.build(
+            "chameleon", n_replicas=3, registry=big_registry,
+            replica_specs=("a100-80gb", "a40-48gb"))
+
+
+def test_replica_specs_bad_entry_type_raises(big_registry):
+    with pytest.raises(TypeError):
+        MultiReplicaSystem.build(
+            "chameleon", registry=big_registry, replica_specs=(42,))
+
+
+def test_build_requires_count_or_specs():
+    with pytest.raises(ValueError):
+        MultiReplicaSystem.build("slora")
+
+
+def test_homogeneous_fleet_weights_are_exactly_one(cluster):
+    assert cluster.capabilities() == [1.0, 1.0, 1.0]
+
+
+def test_mixed_fleet_runs_and_skews_completions(big_registry, dp_trace):
+    cluster = MultiReplicaSystem.build(
+        "chameleon", registry=big_registry, seed=0,
+        replica_specs=("a100-80gb", "a100-80gb", "a40-48gb"))
+    cluster.run_trace(dp_trace.fresh())
+    assert all(r.finished for r in cluster.all_requests())
+    counts = cluster.per_replica_counts()
+    # The fast replicas absorb more of the trace than the slow one.
+    assert min(counts[0], counts[1]) > counts[2]

@@ -165,3 +165,29 @@ def test_other_models(rng_streams):
 def test_registry_built_when_missing():
     system = build_system("slora", n_adapters=25)
     assert len(system.registry) == 25
+
+
+# ----------------------------------------------------------------------- #
+# GPU-zoo name resolution (heterogeneous replica specs, CLI fleets)
+# ----------------------------------------------------------------------- #
+def test_build_system_accepts_gpu_name(big_registry):
+    system = build_system("slora", gpu="a100-80gb", registry=big_registry,
+                          predictor_accuracy=None)
+    assert system.gpu.spec.name == "a100-80gb"
+    assert system.cost_model.gpu.name == "a100-80gb"
+
+
+def test_build_system_rejects_unknown_gpu_name(big_registry):
+    with pytest.raises(ValueError):
+        build_system("slora", gpu="not-a-gpu", registry=big_registry,
+                     predictor_accuracy=None)
+
+
+def test_resolve_gpu_passthrough_and_lookup():
+    from repro.hardware.gpu import A40_48GB
+    from repro.systems import resolve_gpu
+
+    assert resolve_gpu(A40_48GB) is A40_48GB
+    assert resolve_gpu("a40-48gb") is A40_48GB
+    with pytest.raises(ValueError):
+        resolve_gpu("h100-999gb")

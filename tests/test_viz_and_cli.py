@@ -136,3 +136,41 @@ def test_cli_cluster_subcommand(capsys):
 def test_cli_cluster_rejects_unknown_policy():
     with pytest.raises(SystemExit):
         main(["cluster", "--policy", "definitely_not_a_policy"])
+
+
+def test_cli_cluster_hetero_and_slo(capsys):
+    assert main(["cluster", "--replica-specs", "a40-48gb,a100-80gb",
+                 "--rps", "4", "--duration", "8", "--warmup", "0",
+                 "--slo-ttft", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "capability weights" in out
+    assert "goodput" in out
+    assert "SLO admission (shed)" in out
+
+
+def test_cli_cluster_rejects_unknown_gpu():
+    with pytest.raises(SystemExit):
+        main(["cluster", "--replica-specs", "a40-48gb,tpu-v9"])
+
+
+def test_cli_cluster_derived_slo_tracks_fleet_hardware(capsys):
+    def deadline_for(fleet):
+        assert main(["cluster", "--replica-specs", fleet, "--rps", "4",
+                     "--duration", "8", "--warmup", "0", "--slo-ttft", "0"]) == 0
+        out = capsys.readouterr().out
+        return float(out.split("deadline=")[1].split("s ")[0])
+
+    # The derived 5x-mean-isolated deadline reflects the fleet's GPUs:
+    # an all-A100 fleet gets a tighter deadline than an all-A40 fleet.
+    assert deadline_for("a100-80gb,a100-80gb") < deadline_for("a40-48gb,a40-48gb")
+
+
+def test_cli_cluster_rejects_replica_count_conflict():
+    with pytest.raises(SystemExit):
+        main(["cluster", "--replicas", "3",
+              "--replica-specs", "a40-48gb,a100-80gb"])
+
+
+def test_cli_cluster_rejects_slo_without_backpressure():
+    with pytest.raises(SystemExit):
+        main(["cluster", "--slo-ttft", "1.0", "--no-backpressure"])
