@@ -1,0 +1,42 @@
+"""Bench: elastic fleet control plane (autoscaling + observed capability).
+
+Tier-1-safe smoke benchmarks that pin the two headline claims of the
+elastic control plane at reduced scale:
+
+* fig28: on a bursty trace, the autoscaled fleet recovers SLO attainment
+  (far above the min-sized static fleet) at strictly fewer replica-seconds
+  than the peak-sized static fleet — and wins on goodput per
+  replica-second.
+* abl_capability_estimator: with a degraded replica that spec capability
+  cannot see, observed-rate routing weights beat spec weights on tail TTFT.
+"""
+
+from repro.experiments.abl_capability_estimator import run as run_capability
+from repro.experiments.fig28_autoscale import run as run_autoscale
+
+
+def test_autoscale_recovers_slo_at_fewer_replica_seconds(run_experiment):
+    result = run_experiment(run_autoscale, duration=200.0)
+    by_fleet = {row["fleet"]: row for row in result.rows}
+    static_min = by_fleet["static-min"]
+    static_peak = by_fleet["static-peak"]
+    autoscaled = by_fleet["autoscaled"]
+    # The elastic fleet actually scaled (both directions).
+    assert autoscaled["scale_out"] > 0
+    assert autoscaled["scale_in"] > 0
+    # Recovery: attainment far above the min fleet, approaching the peak.
+    assert autoscaled["slo_attainment"] > static_min["slo_attainment"] + 0.1
+    assert autoscaled["slo_attainment"] > 0.9
+    # The bill: strictly fewer replica-seconds than the peak-sized fleet,
+    # and the best goodput per replica-second of the three.
+    assert autoscaled["replica_seconds"] < static_peak["replica_seconds"]
+    assert autoscaled["goodput_per_rs"] > static_peak["goodput_per_rs"]
+
+
+def test_observed_capability_beats_spec_on_degraded_replica(run_experiment):
+    # Full default duration: the degraded replica's tail divergence needs
+    # the whole trace to compound (the run is sub-second anyway).
+    result = run_experiment(run_capability)
+    rows = {row["estimator"]: row for row in result.rows}
+    assert rows["observed"]["p99_ttft_s"] < rows["spec"]["p99_ttft_s"]
+    assert rows["observed"]["mean_ttft_s"] < rows["spec"]["mean_ttft_s"]

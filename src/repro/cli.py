@@ -49,12 +49,15 @@ QUICK_OVERRIDES = {
     "fig25": {"duration": 90.0},
     "fig26": {"duration": 60.0, "replica_counts": (1, 2, 4)},
     "fig27": {"duration": 50.0, "warmup": 10.0},
+    "fig28_autoscale": {"duration": 200.0},
     "abl_wrs_degree": {"duration": 90.0, "loads": (9.0, 11.0)},
     "abl_eviction_weights": {"duration": 60.0, "grid_step": 0.5},
     "abl_gdsf": {"duration": 90.0},
     "abl_load_stall": {"duration": 90.0, "bandwidths": (None, 3.0, 1.5)},
     "abl_dp_dispatch": {"duration": 90.0},
     "abl_slo_admission": {"duration": 60.0},
+    # abl_capability_estimator: no downscale — the degraded replica's tail
+    # divergence needs the full 150s trace to compound (it is cheap anyway).
 }
 
 
@@ -110,6 +113,19 @@ def _cluster_main(argv) -> int:
                              "from the trace")
     parser.add_argument("--slo-mode", default="shed", choices=SloPolicy.MODES,
                         help="what to do with arrivals past the SLO knee")
+    parser.add_argument("--autoscale", action="store_true",
+                        help="make the fleet elastic: scale out on sustained "
+                             "shed-rate/queue-wait pressure, in on sustained "
+                             "idleness (--replicas sets the initial fleet, "
+                             "default --min-replicas)")
+    parser.add_argument("--min-replicas", type=int, default=1,
+                        help="autoscale floor (default 1)")
+    parser.add_argument("--max-replicas", type=int, default=8,
+                        help="autoscale ceiling (default 8)")
+    parser.add_argument("--provision-delay", type=float, default=10.0,
+                        metavar="SECONDS",
+                        help="cold-start delay a scale-out replica pays "
+                             "before joining the dispatch set (default 10)")
     args = parser.parse_args(argv)
     specs = None
     fleet_gpus = [A40_48GB]  # build_system's default when no specs are given
@@ -122,10 +138,27 @@ def _cluster_main(argv) -> int:
         if args.replicas is not None and args.replicas != len(specs):
             parser.error(f"--replicas {args.replicas} conflicts with "
                          f"{len(specs)} --replica-specs entries")
+    if args.autoscale:
+        if args.no_backpressure:
+            parser.error("--autoscale needs backpressure (its pressure "
+                         "signals live in the global queue); drop "
+                         "--no-backpressure")
+        if args.min_replicas < 1 or args.max_replicas < args.min_replicas:
+            parser.error(f"need 1 <= --min-replicas <= --max-replicas, got "
+                         f"[{args.min_replicas}, {args.max_replicas}]")
+        if args.provision_delay < 0:
+            parser.error(f"--provision-delay must be >= 0, "
+                         f"got {args.provision_delay}")
     replicas = args.replicas if args.replicas is not None else \
-        (len(specs) if specs else 4)
+        (len(specs) if specs else
+         (args.min_replicas if args.autoscale else 4))
     if replicas < 1:
         parser.error(f"--replicas must be >= 1, got {replicas}")
+    if args.autoscale and not \
+            args.min_replicas <= replicas <= args.max_replicas:
+        parser.error(f"initial fleet of {replicas} is outside "
+                     f"[--min-replicas, --max-replicas] = "
+                     f"[{args.min_replicas}, {args.max_replicas}]")
     if args.spill_factor < 1.0:
         parser.error(f"--spill-factor must be >= 1.0, got {args.spill_factor}")
     if args.slo_ttft is not None and args.slo_ttft < 0:
@@ -147,11 +180,22 @@ def _cluster_main(argv) -> int:
                 trace_slo(trace, registry, gpu=gpu) for gpu in fleet_gpus
             ) / len(fleet_gpus)
         slo_policy = SloPolicy(ttft_deadline=deadline, mode=args.slo_mode)
+    autoscale = None
+    if args.autoscale:
+        from repro.serving.autoscaler import AutoscaleConfig
+
+        autoscale = AutoscaleConfig(
+            min_replicas=args.min_replicas, max_replicas=args.max_replicas,
+            provision_delay=args.provision_delay,
+            queue_wait_threshold=(slo_policy.ttft_deadline / 2
+                                  if slo_policy is not None else 2.0),
+        )
     cluster = MultiReplicaSystem.build(
         args.preset, n_replicas=replicas, dispatch_policy=args.policy,
         backpressure=not args.no_backpressure, spill_factor=args.spill_factor,
         slo_policy=slo_policy, replica_specs=specs,
         normalize_capability=not args.no_capability_norm,
+        autoscale=autoscale,
         registry=registry, seed=args.seed,
     )
     start = time.time()
@@ -185,6 +229,20 @@ def _cluster_main(argv) -> int:
               f"shed rate {extra['shed_rate']:.3f})")
     if args.policy == "bounded_affinity":
         print(f"  affinity spills           {extra['affinity_spills']}")
+    if args.autoscale:
+        print(f"  autoscale                 [{args.min_replicas}, "
+              f"{args.max_replicas}] peak fleet {extra['peak_fleet_size']}, "
+              f"{extra['scale_out_events']} out / "
+              f"{extra['scale_in_events']} in")
+        print(f"  replica-seconds           {extra['replica_seconds']:.1f} "
+              f"(goodput {extra['goodput_per_replica_second']:.3f} "
+              f"req/replica-s)")
+        for event in extra["scale_events"]:
+            print(f"    t={event['time']:7.1f}s {event['action']:<9} "
+                  f"replicas {event['replicas']} -> fleet "
+                  f"{event['fleet_size']} (shed_rate {event['shed_rate']:.3f} "
+                  f"queue_wait {event['queue_wait']:.2f}s util "
+                  f"{event['utilization']:.2f})")
     print(f"(elapsed: {time.time() - start:.1f}s)")
     return 0
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.experiments import (
+    abl_capability_estimator,
     abl_dp_dispatch,
     abl_eviction_weights,
     abl_gdsf,
@@ -35,6 +36,7 @@ from repro.experiments import (
     fig25_tensor_parallel,
     fig26_dp_scaling,
     fig27_hetero_cluster,
+    fig28_autoscale,
 )
 
 EXPERIMENTS: dict[str, Callable] = {
@@ -62,7 +64,9 @@ EXPERIMENTS: dict[str, Callable] = {
     "fig25": fig25_tensor_parallel.run,
     "fig26": fig26_dp_scaling.run,
     "fig27": fig27_hetero_cluster.run,
+    "fig28_autoscale": fig28_autoscale.run,
     # Ablations of design choices (DESIGN.md) and of our modeling assumptions.
+    "abl_capability_estimator": abl_capability_estimator.run,
     "abl_wrs_degree": abl_wrs_degree.run,
     "abl_eviction_weights": abl_eviction_weights.run,
     "abl_gdsf": abl_gdsf.run,

@@ -92,6 +92,7 @@ class TensorParallelGroup(GpuDevice):
 class DispatchStats:
     """Global-dispatcher telemetry (queueing, routing, SLO admission)."""
 
+    arrivals: int = 0          # every request offered to the dispatcher
     dispatched: int = 0        # requests handed to an engine
     queued: int = 0            # arrivals that waited in a cluster queue
     spills: int = 0            # bounded-affinity fallbacks past the bound
@@ -131,6 +132,22 @@ class DataParallelCluster:
     backlog and a fast replica is offered proportionally more work.
     Saturation is inherently per-replica (each engine's own batch cap) and
     needs no normalization.  Homogeneous fleets are bit-for-bit unaffected.
+    Pass a ``capability_estimator`` (an
+    :class:`~repro.serving.autoscaler.ObservedCapabilityEstimator`) to derive
+    the weights from *observed* per-replica service rates instead of specs —
+    robust to PCIe-bound workloads where spec capability misleads, with a
+    spec prior for replicas that have no history yet.
+
+    **Elastic fleets**: every engine sits behind a
+    :class:`~repro.serving.replica.ReplicaHandle`; all routing, saturation
+    probes, capability normalization and queue drains operate over the
+    *current active set*.  :meth:`add_replica` grows the fleet mid-run
+    (cold-start delays apply before the newcomer becomes a dispatch target);
+    :meth:`drain_replica` lets a replica finish its in-flight work while
+    accepting nothing new, then retires it.  Engine indices are stable for
+    the life of the run — retired replicas keep their slot, so per-replica
+    accounting never shifts.  A cluster built from a static engine list has
+    every handle ACTIVE from the start and behaves bit-for-bit as before.
 
     Policies (see also the table in :mod:`repro.serving.replica`):
 
@@ -170,6 +187,8 @@ class DataParallelCluster:
         slo_policy=None,
         normalize_capability: bool = True,
         rng: Optional[np.random.Generator] = None,
+        capability_estimator=None,
+        sim=None,
     ) -> None:
         if not engines:
             raise ValueError("cluster needs at least one engine")
@@ -186,7 +205,10 @@ class DataParallelCluster:
         self.backpressure = backpressure
         self.spill_factor = spill_factor
         self.slo_policy = slo_policy
+        self.normalize_capability = normalize_capability
+        self.capability_estimator = capability_estimator
         self.stats = DispatchStats()
+        self._sim = sim
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._rr_next = 0
         self._queue: deque = deque()      # (request, enqueue_time) FIFO lane
@@ -200,20 +222,33 @@ class DataParallelCluster:
         self._finish_interval_ewma: Optional[float] = None
         self._last_finish_time: Optional[float] = None
         self._finish_batch = 0  # finishes observed at _last_finish_time
-        # Per-engine capability weights, normalized to mean 1.0.  Identical
-        # capabilities (or none reported) keep every weight at exactly 1.0
-        # so homogeneous clusters behave bit-for-bit as before.
-        caps = [self._engine_capability(engine) for engine in self.engines]
-        if normalize_capability and max(caps) != min(caps):
-            mean_cap = sum(caps) / len(caps)
-            self._capability = [cap / mean_cap for cap in caps]
-        else:
-            self._capability = [1.0] * len(self.engines)
+        # Lifecycle: every engine sits behind a ReplicaHandle; the initial
+        # fleet starts ACTIVE.  Lazy import — the hardware layer must not
+        # import the serving package at module load (cycle).
+        from repro.serving.replica import ReplicaHandle
+        now = self._now()
+        self.handles = [
+            ReplicaHandle(engine=engine, index=i, provisioned_at=now,
+                          active_at=now)
+            for i, engine in enumerate(self.engines)
+        ]
+        #: (time, replica index, new state) for every lifecycle transition.
+        self.lifecycle_log: list[tuple] = [
+            (now, handle.index, handle.state.value) for handle in self.handles
+        ]
+        # Per-engine capability weights, normalized to mean 1.0 over the
+        # active set.  Identical capabilities (or none reported) keep every
+        # weight at exactly 1.0 so homogeneous clusters behave bit-for-bit
+        # as before.
+        self._caps_raw = [self._engine_capability(engine) for engine in self.engines]
+        if capability_estimator is not None:
+            for index, cap in enumerate(self._caps_raw):
+                capability_estimator.register(index, cap)
+        self._capability = [1.0] * len(self.engines)
+        self._recompute_weights()
         # Pull-based dispatch: drain the global queue on finish events.
-        for engine in self.engines:
-            register = getattr(engine, "on_finish", None)
-            if callable(register):
-                register(self._on_engine_finish)
+        for handle in self.handles:
+            self._register_finish(handle)
 
     @staticmethod
     def _engine_capability(engine) -> float:
@@ -222,6 +257,35 @@ class DataParallelCluster:
         if cap <= 0:
             raise ValueError(f"engine capability must be > 0, got {cap}")
         return cap
+
+    def _register_finish(self, handle) -> None:
+        register = getattr(handle.engine, "on_finish", None)
+        if callable(register):
+            register(lambda request, _h=handle: self._on_engine_finish(_h, request))
+
+    def _recompute_weights(self) -> None:
+        """Refresh per-engine capability weights over the *active* set.
+
+        Weights of non-active replicas stay at 1.0 — they receive no new
+        work, so their value never feeds a routing decision.  With a
+        capability estimator the weights track observed service rates;
+        otherwise they are the spec-derived probes captured at registration.
+        A static homogeneous fleet keeps every weight at exactly 1.0.
+        """
+        active = [h.index for h in self.handles if h.is_active]
+        self._capability = [1.0] * len(self.engines)
+        if not active or not self.normalize_capability:
+            return
+        if self.capability_estimator is not None:
+            weights = self.capability_estimator.weights(active)
+            caps = [weights[i] for i in active]
+        else:
+            caps = [self._caps_raw[i] for i in active]
+        if max(caps) == min(caps):
+            return
+        mean_cap = sum(caps) / len(caps)
+        for index, cap in zip(active, caps):
+            self._capability[index] = cap / mean_cap
 
     # ------------------------------------------------------------------ #
     # Dispatch path
@@ -233,8 +297,16 @@ class DataParallelCluster:
         request in a cluster queue (it is submitted later, FIFO lane in
         arrival order, as finish events free capacity) or the SLO policy
         shed it (``request.shed`` is set; it never runs).
+
+        An elastic fleet can be momentarily replica-less (everything still
+        provisioning, or draining out): such arrivals always wait at the
+        cluster — backpressure or not, there is nowhere to submit — and are
+        released when a replica activates.
         """
-        if not (self.backpressure and (self._queue or self._all_saturated())):
+        self.stats.arrivals += 1
+        can_submit = self._has_active() and not (
+            self.backpressure and (self._queue or self._all_saturated()))
+        if can_submit:
             return self._submit(request)
         # The arrival must wait: consult the SLO policy before the FIFO
         # lane commits capacity to a request that cannot meet its deadline.
@@ -294,18 +366,21 @@ class DataParallelCluster:
 
     def capability_weights(self) -> list:
         """Per-engine relative capability weights used to normalize loads
-        (all 1.0 on a homogeneous fleet or with normalization disabled)."""
+        (all 1.0 on a homogeneous fleet or with normalization disabled;
+        recomputed on membership changes and, with a capability estimator,
+        on every finish event)."""
         return list(self._capability)
 
     def _submit(self, request) -> int:
-        candidates = None
+        # Only ACTIVE replicas are dispatch targets: provisioning/warming
+        # replicas have not joined yet, draining ones accept nothing new.
+        candidates = [h.index for h in self.handles if h.is_active]
         if self.backpressure:
             # Never force-feed a saturated engine while another has room —
             # that is the exact failure mode the global queue exists to
             # prevent (matters for routing policies that don't follow load).
             unsaturated = [
-                i for i, engine in enumerate(self.engines)
-                if not self._saturated(engine)
+                i for i in candidates if not self._saturated(self.engines[i])
             ]
             if unsaturated:
                 candidates = unsaturated
@@ -314,7 +389,7 @@ class DataParallelCluster:
         self.stats.dispatched += 1
         return idx
 
-    def _on_engine_finish(self, request) -> None:
+    def _on_engine_finish(self, handle, request) -> None:
         now = self._now()
         if self._last_finish_time is None:
             self._last_finish_time = now
@@ -335,6 +410,14 @@ class DataParallelCluster:
                 )
             self._last_finish_time = now
             self._finish_batch = 1
+        if self.capability_estimator is not None:
+            # Recompute weights only when a rate sample actually landed:
+            # batched same-timestamp finishes just grow the pending batch.
+            if self.capability_estimator.observe_finish(
+                    handle.index, now, idle=handle.in_flight() == 0):
+                self._recompute_weights()
+        if handle.is_draining and handle.in_flight() == 0:
+            self._retire(handle)
         self._drain()
 
     def _drain(self) -> None:
@@ -351,17 +434,159 @@ class DataParallelCluster:
         self.stats.queue_delays.append(request.dispatch_queue_delay)
         self._submit(request)
 
+    def _simulator(self):
+        if self._sim is not None:
+            return self._sim
+        return getattr(self.engines[0], "sim", None)
+
     def _now(self) -> float:
-        sim = getattr(self.engines[0], "sim", None)
+        sim = self._simulator()
         return sim.now if sim is not None else 0.0
 
+    def _has_active(self) -> bool:
+        return any(handle.is_active for handle in self.handles)
+
     def _all_saturated(self) -> bool:
-        return all(self._saturated(engine) for engine in self.engines)
+        """True when no ACTIVE replica can take a request right now
+        (every active engine saturated, or no active replicas at all)."""
+        active = [h for h in self.handles if h.is_active]
+        if not active:
+            return True
+        return all(self._saturated(h.engine) for h in active)
 
     @staticmethod
     def _saturated(engine) -> bool:
         checker = getattr(engine, "is_saturated", None)
         return checker() if callable(checker) else False
+
+    # ------------------------------------------------------------------ #
+    # Replica lifecycle (elastic fleets)
+    # ------------------------------------------------------------------ #
+    def add_replica(self, engine, *, provision_delay: float = 0.0,
+                    warmup_delay: float = 0.0):
+        """Grow the fleet mid-run.
+
+        The replica starts PROVISIONING, pays ``provision_delay`` (cold
+        start: container pull, weight load) then ``warmup_delay`` (WARMING),
+        and only then joins the dispatch set — at which point any queued
+        work drains into it immediately.  Returns the new
+        :class:`~repro.serving.replica.ReplicaHandle`.
+        """
+        if provision_delay < 0 or warmup_delay < 0:
+            raise ValueError("cold-start delays must be >= 0")
+        from repro.serving.replica import ReplicaHandle, ReplicaState
+        if (provision_delay > 0 or warmup_delay > 0) and self._simulator() is None:
+            raise ValueError(
+                "cold-start delays need a simulated clock: pass sim= to the "
+                "cluster or use engines exposing .sim")
+        index = len(self.engines)
+        now = self._now()
+        self.engines.append(engine)
+        handle = ReplicaHandle(engine=engine, index=index,
+                               state=ReplicaState.PROVISIONING,
+                               provisioned_at=now)
+        self.handles.append(handle)
+        self._caps_raw.append(self._engine_capability(engine))
+        self._capability.append(1.0)
+        if self.capability_estimator is not None:
+            self.capability_estimator.register(index, self._caps_raw[index])
+        self._register_finish(handle)
+        self._log_transition(handle)
+        if provision_delay > 0:
+            handle.pending_event = self._simulator().schedule(
+                provision_delay, self._begin_warmup, handle, warmup_delay)
+        else:
+            self._begin_warmup(handle, warmup_delay)
+        return handle
+
+    def drain_replica(self, index: int):
+        """Shrink the fleet: stop offering new work to replica ``index``.
+
+        An ACTIVE replica transitions to DRAINING, finishes its in-flight
+        work (including its local queue) and retires on its last finish — no
+        request is lost or re-dispatched.  A replica still cold
+        (PROVISIONING/WARMING) has its pending timer cancelled and retires
+        immediately: it never served.  Idempotent on draining/retired
+        replicas.  Returns the handle.
+        """
+        handle = self.handles[index]
+        if handle.is_retired or handle.is_draining:
+            return handle
+        now = self._now()
+        if not handle.is_active:
+            if handle.pending_event is not None:
+                sim = self._simulator()
+                if sim is not None:
+                    sim.cancel(handle.pending_event)
+                handle.pending_event = None
+            handle.retire(now)
+            self._log_transition(handle)
+            self._recompute_weights()
+            return handle
+        handle.begin_drain(now)
+        self._log_transition(handle)
+        self._recompute_weights()
+        if handle.in_flight() == 0:
+            self._retire(handle)
+        return handle
+
+    def _begin_warmup(self, handle, warmup_delay: float) -> None:
+        if handle.is_retired:
+            return  # provisioning cancelled by a scale-in
+        handle.pending_event = None
+        handle.begin_warmup(self._now())
+        self._log_transition(handle)
+        if warmup_delay > 0:
+            handle.pending_event = self._simulator().schedule(
+                warmup_delay, self._activate, handle)
+        else:
+            self._activate(handle)
+
+    def _activate(self, handle) -> None:
+        if handle.is_retired:
+            return  # warmup cancelled by a scale-in
+        handle.pending_event = None
+        handle.activate(self._now())
+        self._log_transition(handle)
+        self._recompute_weights()
+        self._drain()  # the newcomer can absorb queued work immediately
+
+    def _retire(self, handle) -> None:
+        handle.retire(self._now())
+        self._log_transition(handle)
+        self._recompute_weights()
+
+    def _log_transition(self, handle) -> None:
+        self.lifecycle_log.append(
+            (self._now(), handle.index, handle.state.value))
+
+    def active_indices(self) -> list:
+        """Engine indices currently in the dispatch set."""
+        return [handle.index for handle in self.handles if handle.is_active]
+
+    def active_count(self) -> int:
+        return sum(1 for handle in self.handles if handle.is_active)
+
+    def fleet_size(self) -> int:
+        """Replicas counted against the autoscaler's *floor*: provisioning,
+        warming and active (draining replicas are already on their way out
+        and must not satisfy ``min_replicas``)."""
+        return sum(1 for handle in self.handles if handle.in_fleet)
+
+    def holding_count(self) -> int:
+        """Replicas currently holding a GPU: everything not yet retired,
+        draining included — the count the autoscaler's ``max_replicas``
+        ceiling and peak-fleet accounting must bound, since a draining
+        replica is still being billed until its last finish."""
+        return sum(1 for handle in self.handles if not handle.is_retired)
+
+    def replica_seconds(self, now: Optional[float] = None) -> float:
+        """Total resource-time consumed by the fleet so far, in
+        replica-seconds (each replica counts from provisioning start to
+        retirement; see ``ReplicaHandle.replica_seconds``)."""
+        if now is None:
+            now = self._now()
+        return sum(handle.replica_seconds(now) for handle in self.handles)
 
     # ------------------------------------------------------------------ #
     # Routing policies
@@ -382,10 +607,12 @@ class DataParallelCluster:
         return engine.in_flight_count() / self._capability[idx]
 
     def _pick(self, request, candidates: Optional[list] = None) -> int:
-        """Pick an engine index among ``candidates`` (default: all)."""
+        """Pick an engine index among ``candidates`` (default: active set)."""
         n = len(self.engines)
         if candidates is None:
-            candidates = list(range(n))
+            candidates = [h.index for h in self.handles if h.is_active]
+        if not candidates:
+            raise RuntimeError("no ACTIVE replica to dispatch to")
         if len(candidates) == 1:
             return candidates[0]
         if self.policy == "round_robin":

@@ -13,10 +13,26 @@ from repro.serving.adapter_manager import (
     SloraAdapterManager,
 )
 from repro.serving.engine import EngineConfig, ServingEngine
-from repro.serving.replica import MultiReplicaSystem
+from repro.serving.autoscaler import (
+    Autoscaler,
+    AutoscaleConfig,
+    ObservedCapabilityEstimator,
+)
+from repro.serving.replica import (
+    MultiReplicaSystem,
+    ReplicaFactory,
+    ReplicaHandle,
+    ReplicaState,
+)
 
 __all__ = [
     "MultiReplicaSystem",
+    "ReplicaFactory",
+    "ReplicaHandle",
+    "ReplicaState",
+    "Autoscaler",
+    "AutoscaleConfig",
+    "ObservedCapabilityEstimator",
     "AdmitResult",
     "AdmissionContext",
     "Scheduler",

@@ -1,0 +1,447 @@
+"""Elastic fleet control plane: autoscaling and observed-rate capability.
+
+The data-parallel cluster layer (PR 1/2) treats replica count as a constant;
+production serving stacks treat it as a *controlled variable*.  This module
+supplies the two controllers that make the fleet elastic:
+
+* :class:`Autoscaler` — a simulated control loop evaluated every
+  ``tick_interval`` seconds.  It scales **out** on sustained admission
+  pressure (shed rate over the last tick window, or the dispatcher's
+  estimated queue wait) and **in** on sustained idleness (low batch
+  utilization with an empty global queue), within ``[min_replicas,
+  max_replicas]``, with a cooldown between scale events and full event
+  accounting.  Scale-out provisions replicas through a caller-supplied
+  factory callback (cold-start delays apply before the newcomer joins the
+  dispatch set); scale-in prefers cancelling still-cold replicas, then
+  drains the least-loaded active one (draining replicas finish their
+  in-flight work but accept nothing new).
+
+* :class:`ObservedCapabilityEstimator` — replaces spec-derived
+  ``capability()`` routing weights with an EWMA of each replica's *observed*
+  service rate.  Spec weights (compute x HBM bandwidth) are wrong whenever
+  the binding resource is something else — a PCIe-bound adapter workload
+  serves no faster on an A100 than an A40 — and newly warmed replicas have
+  no history at all.  The estimator measures inter-finish intervals per
+  replica (same-timestamp finishes count as one drain event; idle gaps are
+  excluded) and falls back to a spec prior *calibrated into observed-rate
+  units* for cold replicas, so a fresh scale-out replica is offered a
+  spec-proportional share of the measured fleet rate until it has history
+  of its own.
+
+Neither class imports the cluster or the replica module: both operate on
+duck-typed handles (``is_active`` / ``in_flight()`` / ...), which keeps the
+dependency graph acyclic (``replica`` -> ``autoscaler``, never back).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Knobs of the simulated autoscaling control loop.
+
+    Attributes:
+        min_replicas: Lower fleet bound; scale-in never goes below it
+            (draining replicas do not count — they are on their way out).
+        max_replicas: Upper bound on concurrently *held* GPUs; scale-out
+            never exceeds it counting provisioning/warming replicas (so
+            pressure cannot double-provision during a cold start) **and**
+            draining ones (still billed until their last finish).
+        tick_interval: Control-loop period in simulated seconds.
+        provision_delay: Cold-start delay a new replica pays in
+            PROVISIONING before it starts warming.
+        warmup_delay: Additional delay in WARMING before the replica joins
+            the dispatch set.
+        shed_rate_threshold: Scale-out pressure: fraction of arrivals shed
+            during the last tick window above which the tick counts as
+            pressured.
+        queue_wait_threshold: Optional second pressure signal: the
+            dispatcher's estimated queue wait (seconds) above which a tick
+            counts as pressured even without sheds (useful without an SLO
+            policy).  ``None`` disables it.
+        idle_utilization: Scale-in signal: mean batch utilization across
+            active replicas below which (with an empty global queue and no
+            sheds) the tick counts as idle.
+        sustain_ticks: Consecutive pressured ticks required before a
+            scale-out fires — one bursty tick is not a trend.
+        idle_sustain_ticks: Consecutive idle ticks required before a
+            scale-in fires.  Defaults to ``sustain_ticks``; production
+            controllers set it higher (scale out fast, scale in slow) so a
+            short lull between bursts does not tear the fleet down.
+        cooldown: Minimum simulated seconds between scale events *in the
+            same direction*, so the controller observes the effect of one
+            action before repeating it.  A scale-in never delays the next
+            scale-out (and vice versa) — blocking an urgent scale-out on a
+            recent scale-in is the classic flapping pathology.
+        scale_out_step: Replicas provisioned per scale-out event.
+        scale_in_step: Replicas drained per scale-in event.
+        scale_out_spec: Optional replica spec for scale-out replicas (any
+            ``replica_specs`` entry: GpuSpec, zoo name, EngineConfig or
+            dict of build overrides), enabling heterogeneous scale-out.
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 8
+    tick_interval: float = 5.0
+    provision_delay: float = 10.0
+    warmup_delay: float = 0.0
+    shed_rate_threshold: float = 0.01
+    queue_wait_threshold: Optional[float] = None
+    idle_utilization: float = 0.25
+    sustain_ticks: int = 2
+    idle_sustain_ticks: Optional[int] = None
+    cooldown: float = 20.0
+    scale_out_step: int = 1
+    scale_in_step: int = 1
+    scale_out_spec: Any = None
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ValueError(f"min_replicas must be >= 1, got {self.min_replicas}")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError(
+                f"max_replicas ({self.max_replicas}) must be >= "
+                f"min_replicas ({self.min_replicas})")
+        if self.tick_interval <= 0:
+            raise ValueError(f"tick_interval must be > 0, got {self.tick_interval}")
+        if self.provision_delay < 0 or self.warmup_delay < 0:
+            raise ValueError("cold-start delays must be >= 0")
+        if self.sustain_ticks < 1:
+            raise ValueError(f"sustain_ticks must be >= 1, got {self.sustain_ticks}")
+        if self.idle_sustain_ticks is not None and self.idle_sustain_ticks < 1:
+            raise ValueError(
+                f"idle_sustain_ticks must be >= 1, got {self.idle_sustain_ticks}")
+        if self.cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {self.cooldown}")
+        if self.scale_out_step < 1 or self.scale_in_step < 1:
+            raise ValueError("scale steps must be >= 1")
+        if not 0.0 <= self.shed_rate_threshold <= 1.0:
+            raise ValueError(
+                f"shed_rate_threshold must be in [0, 1], got {self.shed_rate_threshold}")
+        if not 0.0 <= self.idle_utilization <= 1.0:
+            raise ValueError(
+                f"idle_utilization must be in [0, 1], got {self.idle_utilization}")
+
+    @property
+    def effective_idle_sustain(self) -> int:
+        return self.idle_sustain_ticks if self.idle_sustain_ticks is not None \
+            else self.sustain_ticks
+
+
+class Autoscaler:
+    """Admission-aware replica-count controller on a simulated tick.
+
+    ``provision`` is a callback ``(spec, *, provision_delay, warmup_delay)
+    -> handle`` that builds one replica on the shared clock and registers it
+    with the cluster (see ``MultiReplicaSystem.provision_replica``).  The
+    autoscaler never touches engines directly: it reads cluster-level
+    signals and issues provision/drain commands.
+    """
+
+    def __init__(self, sim, cluster, config: AutoscaleConfig,
+                 provision: Callable[..., Any]) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.config = config
+        self._provision = provision
+        #: Full scale-event log: time, action, replica indices, fleet size
+        #: after the event, and the signal values that triggered it.
+        self.events: list[dict] = []
+        self.scale_out_count = 0
+        self.scale_in_count = 0
+        self.ticks = 0
+        self.peak_fleet = 0
+        self._pressure_ticks = 0
+        self._idle_ticks = 0
+        self._last_arrivals = 0
+        self._last_shed = 0
+        self._last_out_time: Optional[float] = None
+        self._last_in_time: Optional[float] = None
+        self._until: Optional[float] = None
+        self._tick_event = None
+
+    # ------------------------------------------------------------------ #
+    # Control-loop scheduling
+    # ------------------------------------------------------------------ #
+    def start(self, until: Optional[float] = None) -> None:
+        """Begin ticking.  ``until`` bounds the loop (typically the last
+        arrival time or the run horizon); past it, ticks continue only while
+        the cluster still holds queued or in-flight work, then stop so the
+        event heap can drain."""
+        self._until = until
+        self.peak_fleet = max(self.peak_fleet, self.cluster.holding_count())
+        self._schedule()
+
+    def stop(self) -> None:
+        """Cancel the pending tick (ends the control loop)."""
+        if self._tick_event is not None:
+            self.sim.cancel(self._tick_event)
+            self._tick_event = None
+
+    def _schedule(self) -> None:
+        self._tick_event = self.sim.schedule(self.config.tick_interval, self._tick)
+
+    def _tick(self) -> None:
+        self._tick_event = None
+        self.ticks += 1
+        self._evaluate()
+        self.peak_fleet = max(self.peak_fleet, self.cluster.holding_count())
+        if self._should_continue():
+            self._schedule()
+
+    def _should_continue(self) -> bool:
+        if self._until is not None and \
+                self.sim.now + self.config.tick_interval <= self._until:
+            return True
+        return self._pending_work()
+
+    def _pending_work(self) -> bool:
+        if self.cluster.queue_len() > 0:
+            return True
+        return any(handle.in_flight() > 0 for handle in self.cluster.handles
+                   if not handle.is_retired)
+
+    # ------------------------------------------------------------------ #
+    # Signals and decisions
+    # ------------------------------------------------------------------ #
+    def _evaluate(self) -> None:
+        cfg = self.config
+        stats = self.cluster.stats
+        d_arrivals = stats.arrivals - self._last_arrivals
+        d_shed = stats.shed - self._last_shed
+        self._last_arrivals = stats.arrivals
+        self._last_shed = stats.shed
+        shed_rate = d_shed / d_arrivals if d_arrivals > 0 else 0.0
+        queue_wait = self.cluster.estimated_queue_wait() \
+            if self.cluster.queue_len() > 0 else 0.0
+        utilization = self._utilization()
+
+        pressure = shed_rate > cfg.shed_rate_threshold
+        if cfg.queue_wait_threshold is not None:
+            pressure = pressure or queue_wait > cfg.queue_wait_threshold
+        idle = (not pressure and self.cluster.queue_len() == 0 and d_shed == 0
+                and utilization < cfg.idle_utilization)
+        if pressure:
+            self._pressure_ticks += 1
+            self._idle_ticks = 0
+        elif idle:
+            self._idle_ticks += 1
+            self._pressure_ticks = 0
+        else:
+            self._pressure_ticks = 0
+            self._idle_ticks = 0
+
+        if pressure and self._pressure_ticks >= cfg.sustain_ticks \
+                and self._cooldown_ok(self._last_out_time):
+            self._scale_out(shed_rate, queue_wait, utilization)
+        elif idle and self._idle_ticks >= cfg.effective_idle_sustain \
+                and self._cooldown_ok(self._last_in_time):
+            self._scale_in(shed_rate, queue_wait, utilization)
+
+    def _cooldown_ok(self, last_time: Optional[float]) -> bool:
+        return (last_time is None
+                or self.sim.now - last_time >= self.config.cooldown)
+
+    def _utilization(self) -> float:
+        """Mean batch-fill fraction across active replicas (0 when none)."""
+        fractions = []
+        for handle in self.cluster.handles:
+            if not handle.is_active:
+                continue
+            in_flight = handle.in_flight()
+            capacity = self._batch_capacity(handle.engine)
+            if capacity:
+                fractions.append(min(1.0, in_flight / capacity))
+            else:
+                fractions.append(1.0 if in_flight > 0 else 0.0)
+        return sum(fractions) / len(fractions) if fractions else 0.0
+
+    @staticmethod
+    def _batch_capacity(engine) -> Optional[int]:
+        config = getattr(engine, "config", None)
+        size = getattr(config, "max_batch_size", None)
+        if size:
+            return size
+        return getattr(engine, "capacity", None)
+
+    # ------------------------------------------------------------------ #
+    # Actions
+    # ------------------------------------------------------------------ #
+    def _scale_out(self, shed_rate, queue_wait, utilization) -> None:
+        cfg = self.config
+        # Bound by GPUs actually held (draining replicas included): a slow
+        # drain must not let pressure push concurrent holding past the cap.
+        room = cfg.max_replicas - self.cluster.holding_count()
+        count = min(cfg.scale_out_step, room)
+        if count <= 0:
+            return
+        added = []
+        for _ in range(count):
+            handle = self._provision(
+                cfg.scale_out_spec,
+                provision_delay=cfg.provision_delay,
+                warmup_delay=cfg.warmup_delay,
+            )
+            added.append(handle.index)
+        self.scale_out_count += 1
+        self._pressure_ticks = 0
+        self._last_out_time = self.sim.now
+        self._record("scale_out", added, shed_rate, queue_wait, utilization)
+
+    def _scale_in(self, shed_rate, queue_wait, utilization) -> None:
+        cfg = self.config
+        candidates = [h for h in self.cluster.handles if h.in_fleet]
+        room = len(candidates) - cfg.min_replicas
+        count = min(cfg.scale_in_step, room)
+        if count <= 0:
+            return
+        # Cancel still-cold replicas first (they never served), then drain
+        # the least-loaded active one; newest (highest index) breaks ties so
+        # scale-out replicas retire before the original fleet.
+        victims = sorted(
+            candidates,
+            key=lambda h: (0 if h.is_provisioning else 1 if h.is_warming else 2,
+                           h.in_flight(), -h.index),
+        )[:count]
+        for handle in victims:
+            self.cluster.drain_replica(handle.index)
+        self.scale_in_count += 1
+        self._idle_ticks = 0
+        self._last_in_time = self.sim.now
+        self._record("scale_in", [h.index for h in victims],
+                     shed_rate, queue_wait, utilization)
+
+    def _record(self, action, indices, shed_rate, queue_wait, utilization) -> None:
+        self.events.append(dict(
+            time=self.sim.now,
+            action=action,
+            replicas=list(indices),
+            fleet_size=self.cluster.fleet_size(),
+            holding=self.cluster.holding_count(),
+            active=self.cluster.active_count(),
+            shed_rate=round(shed_rate, 6),
+            queue_wait=round(queue_wait, 6),
+            utilization=round(utilization, 6),
+        ))
+
+
+class ObservedCapabilityEstimator:
+    """Routing weights from observed per-replica service rates.
+
+    Each replica's service rate is a **time-weighted** exponential average of
+    its instantaneous finish rate: for a gap of ``dt`` seconds carrying ``k``
+    finishes (finishes sharing one timestamp — a batch completing in one
+    engine iteration — count as one drain event of size ``k``), the sample
+    is ``k / dt`` with weight ``1 - exp(-dt / tau)``.  Time-weighting
+    matters: a per-sample EWMA would give one sparse singleton finish the
+    same vote as a ten-finish burst, biasing the estimate toward whichever
+    replica happens to trickle (inspection bias) — weighting by elapsed time
+    makes the average converge to finishes-per-busy-second.  A finish that
+    leaves the engine idle closes the measurement window: the gap to the
+    replica's next finish would include idle time, which is absence of
+    work, not slowness.
+
+    Cold replicas (fewer than ``min_samples`` rate samples) blend toward a
+    spec prior *calibrated into observed-rate units*: the fleet-wide ratio
+    of measured rates to spec capabilities converts the prior of an
+    unmeasured replica into an expected rate, so a newly warmed scale-out
+    replica is offered a spec-proportional share of traffic from its first
+    moment.  Before any replica has history, weights reduce to the raw spec
+    priors — exactly the legacy spec-derived behaviour.
+    """
+
+    def __init__(self, tau: float = 20.0, min_samples: int = 8) -> None:
+        if tau <= 0:
+            raise ValueError(f"tau must be > 0, got {tau}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        self.tau = tau
+        self.min_samples = min_samples
+        self._prior: dict[int, float] = {}
+        self._rate: dict[int, Optional[float]] = {}
+        self._samples: dict[int, int] = {}
+        self._last_finish: dict[int, Optional[float]] = {}
+        self._batch: dict[int, int] = {}
+
+    def register(self, index: int, spec_capability: float) -> None:
+        """Add a replica with its spec-derived prior (arbitrary units)."""
+        if spec_capability <= 0:
+            raise ValueError(
+                f"spec capability must be > 0, got {spec_capability}")
+        self._prior[index] = float(spec_capability)
+        self._rate[index] = None
+        self._samples[index] = 0
+        self._last_finish[index] = None
+        self._batch[index] = 0
+
+    def observe_finish(self, index: int, now: float, *, idle: bool = False) -> bool:
+        """Record one finish event on replica ``index`` at time ``now``.
+
+        ``idle=True`` means the finish left the engine with no in-flight
+        work; the measurement window closes so the idle gap is not mistaken
+        for service time.  Returns True when a new rate sample landed (the
+        estimate changed) — same-timestamp finishes only grow the pending
+        batch, so callers can skip recomputing weights for them.
+        """
+        sampled = False
+        last = self._last_finish[index]
+        if last is None:
+            self._last_finish[index] = now
+            self._batch[index] = 1
+        elif now == last:
+            self._batch[index] += 1
+        else:
+            dt = now - last
+            instantaneous = self._batch[index] / dt
+            weight = 1.0 - math.exp(-dt / self.tau)
+            prev = self._rate[index]
+            if prev is None:
+                self._rate[index] = instantaneous
+            else:
+                self._rate[index] = \
+                    (1.0 - weight) * prev + weight * instantaneous
+            self._samples[index] += 1
+            self._last_finish[index] = now
+            self._batch[index] = 1
+            sampled = True
+        if idle:
+            self._last_finish[index] = None
+            self._batch[index] = 0
+        return sampled
+
+    def observed_rate(self, index: int) -> Optional[float]:
+        """Finishes per busy second, or ``None`` with no samples yet."""
+        return self._rate.get(index)
+
+    def sample_count(self, index: int) -> int:
+        return self._samples.get(index, 0)
+
+    def weights(self, indices) -> dict[int, float]:
+        """Relative routing weights for ``indices`` (one pass, uncalibrated
+        scale — the cluster renormalizes to mean 1.0 over the active set)."""
+        rates = {i: self.observed_rate(i) for i in self._prior}
+        known = {i: r for i, r in rates.items() if r is not None}
+        if known:
+            calibration = sum(known.values()) \
+                / sum(self._prior[i] for i in known)
+        else:
+            calibration = None
+        out: dict[int, float] = {}
+        for i in indices:
+            prior = self._prior[i]
+            prior_rate = calibration * prior if calibration is not None else prior
+            rate = rates.get(i)
+            if rate is None:
+                out[i] = prior_rate
+            else:
+                blend = min(1.0, self._samples[i] / self.min_samples)
+                out[i] = blend * rate + (1.0 - blend) * prior_rate
+        return out
+
+    def weight(self, index: int) -> float:
+        """One replica's weight (see :meth:`weights`)."""
+        return self.weights([index])[index]

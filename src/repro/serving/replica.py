@@ -42,12 +42,27 @@ global-queue wait exceeds their TTFT deadline are shed (rejected with
 accounting) or deprioritized into a low-priority lane drained only while
 the FIFO lane is empty.  Goodput, shed rate and SLO attainment surface in
 ``summary().extra``.
+
+**Elastic fleets**: the cluster is no longer fixed at construction time.
+Every replica sits behind a :class:`ReplicaHandle` with an explicit
+lifecycle (``PROVISIONING -> WARMING -> ACTIVE -> DRAINING -> RETIRED``);
+only ACTIVE replicas are dispatch targets.  A :class:`ReplicaFactory` can
+build replicas mid-run on the shared clock (heterogeneous scale-out specs
+included), and an :class:`~repro.serving.autoscaler.Autoscaler`
+(``autoscale=`` on :meth:`MultiReplicaSystem.build`) grows the fleet on
+sustained shed-rate/queue-delay pressure and shrinks it on sustained
+idleness, within ``[min_replicas, max_replicas]`` and under a cooldown.
+Draining replicas finish their in-flight work but accept nothing new;
+provisioning replicas pay a configurable cold-start delay before joining.
+With ``autoscale=None`` (the default) the fleet is static and behaves
+bit-for-bit as before.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -55,9 +70,154 @@ from repro.hardware.cluster import DataParallelCluster
 from repro.hardware.gpu import GpuSpec
 from repro.metrics.summary import RunSummary, percentile, summarize_run
 from repro.serving.admission import SloPolicy
+from repro.serving.autoscaler import (
+    Autoscaler,
+    AutoscaleConfig,
+    ObservedCapabilityEstimator,
+)
 from repro.serving.engine import EngineConfig
 from repro.sim.simulator import Simulator
 from repro.workload.request import Request, RequestState
+
+
+class ReplicaState(enum.Enum):
+    """Lifecycle of one replica in an elastic fleet.
+
+    ``PROVISIONING -> WARMING -> ACTIVE -> DRAINING -> RETIRED``, with two
+    shortcuts: a replica whose cold start is cancelled by a scale-in retires
+    straight from PROVISIONING/WARMING (it never served), and zero-delay
+    provisioning passes through WARMING at a single timestamp.
+    """
+
+    PROVISIONING = "provisioning"  # resources committed, cold start running
+    WARMING = "warming"            # cold start paid, warmup running
+    ACTIVE = "active"              # in the dispatch set
+    DRAINING = "draining"          # finishing in-flight work, accepts nothing
+    RETIRED = "retired"            # drained and removed; accounting frozen
+
+
+#: Legal lifecycle edges (see :class:`ReplicaState`).
+_TRANSITIONS: dict[ReplicaState, tuple[ReplicaState, ...]] = {
+    ReplicaState.PROVISIONING: (ReplicaState.WARMING, ReplicaState.RETIRED),
+    ReplicaState.WARMING: (ReplicaState.ACTIVE, ReplicaState.RETIRED),
+    ReplicaState.ACTIVE: (ReplicaState.DRAINING,),
+    ReplicaState.DRAINING: (ReplicaState.RETIRED,),
+    ReplicaState.RETIRED: (),
+}
+
+
+@dataclass
+class ReplicaHandle:
+    """One replica's lifecycle record: engine, state, and timestamps.
+
+    The handle owns its state machine (transitions validate against
+    ``_TRANSITIONS``); the cluster owns the *timing* — it schedules the
+    cold-start timers and calls the transition methods.  ``index`` is the
+    replica's stable slot in the cluster's engine list (retired replicas
+    keep their slot so per-replica accounting never shifts).
+    """
+
+    engine: Any
+    index: int
+    state: ReplicaState = ReplicaState.ACTIVE
+    provisioned_at: float = 0.0
+    active_at: Optional[float] = None
+    drain_started_at: Optional[float] = None
+    retired_at: Optional[float] = None
+    #: Pending cold-start timer (a Simulator Event), cancelled when a
+    #: scale-in retires the replica before it ever activates.
+    pending_event: Any = field(default=None, repr=False)
+
+    # -- state predicates (duck-typed by the autoscaler; keep them cheap) --
+    @property
+    def is_provisioning(self) -> bool:
+        return self.state is ReplicaState.PROVISIONING
+
+    @property
+    def is_warming(self) -> bool:
+        return self.state is ReplicaState.WARMING
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is ReplicaState.ACTIVE
+
+    @property
+    def is_draining(self) -> bool:
+        return self.state is ReplicaState.DRAINING
+
+    @property
+    def is_retired(self) -> bool:
+        return self.state is ReplicaState.RETIRED
+
+    @property
+    def in_fleet(self) -> bool:
+        """Counted against the fleet-size bounds (not retired/draining)."""
+        return self.state in (ReplicaState.PROVISIONING, ReplicaState.WARMING,
+                              ReplicaState.ACTIVE)
+
+    def in_flight(self) -> int:
+        """The engine's in-flight request count (0 for engines without one)."""
+        probe = getattr(self.engine, "in_flight_count", None)
+        return probe() if callable(probe) else 0
+
+    # -- transitions -------------------------------------------------------
+    def _transition(self, new_state: ReplicaState) -> None:
+        if new_state not in _TRANSITIONS[self.state]:
+            raise RuntimeError(
+                f"replica {self.index}: illegal lifecycle transition "
+                f"{self.state.value} -> {new_state.value}")
+        self.state = new_state
+
+    def begin_warmup(self, now: float) -> None:
+        self._transition(ReplicaState.WARMING)
+
+    def activate(self, now: float) -> None:
+        self._transition(ReplicaState.ACTIVE)
+        self.active_at = now
+
+    def begin_drain(self, now: float) -> None:
+        self._transition(ReplicaState.DRAINING)
+        self.drain_started_at = now
+
+    def retire(self, now: float) -> None:
+        self._transition(ReplicaState.RETIRED)
+        self.retired_at = now
+
+    # -- accounting --------------------------------------------------------
+    def replica_seconds(self, now: float) -> float:
+        """Resource-time consumed: provisioning start until retirement.
+
+        A provisioning replica is already holding a GPU, and a draining one
+        still is — both count.  Retired replicas are frozen at
+        ``retired_at``.
+        """
+        end = self.retired_at if self.retired_at is not None else now
+        return max(0.0, end - self.provisioned_at)
+
+
+@dataclass
+class ReplicaFactory:
+    """Builds replicas of one preset on a shared clock, mid-run included.
+
+    Replica ``index`` is built with ``seed + index`` (the same derivation
+    the initial fleet uses), so a replica provisioned by the autoscaler at
+    t=83s has the same decorrelated RNG streams it would have had at
+    construction time.  ``spec`` accepts any ``replica_specs`` entry, which
+    is how heterogeneous scale-out (e.g. cheaper spot-class GPUs for
+    overflow capacity) enters the fleet.
+    """
+
+    preset: str
+    sim: Simulator
+    seed: int
+    build_kwargs: dict
+
+    def build(self, index: int, spec=None):
+        from repro.systems import build_system  # local import: avoid cycle
+
+        overrides = _replica_overrides(spec)
+        return build_system(self.preset, sim=self.sim, seed=self.seed + index,
+                            **{**self.build_kwargs, **overrides})
 
 
 @dataclass
@@ -68,6 +228,8 @@ class MultiReplicaSystem:
     cluster: DataParallelCluster
     sim: Simulator
     slo_policy: Optional[SloPolicy] = None
+    factory: Optional[ReplicaFactory] = None
+    autoscaler: Optional[Autoscaler] = None
 
     @classmethod
     def build(
@@ -81,6 +243,8 @@ class MultiReplicaSystem:
         slo_policy: Optional[SloPolicy] = None,
         replica_specs: Optional[Sequence] = None,
         normalize_capability: bool = True,
+        autoscale: Optional[AutoscaleConfig] = None,
+        capability_estimator="auto",
         seed: int = 0,
         **build_kwargs,
     ) -> "MultiReplicaSystem":
@@ -98,6 +262,18 @@ class MultiReplicaSystem:
         (e.g. ``{"gpu": "a40-48gb", "engine_config": ...}``); ``None``
         entries keep the shared defaults.  ``n_replicas`` may be omitted
         when ``replica_specs`` determines the fleet size.
+
+        ``autoscale`` (an :class:`~repro.serving.autoscaler.AutoscaleConfig`)
+        makes the fleet elastic: the initial fleet (``n_replicas``, default
+        ``min_replicas``) is the floor the controller grows from.  Scale
+        events, replica-seconds and goodput per replica-second surface in
+        ``summary().extra``.  ``capability_estimator`` selects the routing
+        weights: ``"spec"`` (static, from GPU specs — the legacy behaviour),
+        ``"observed"`` (an :class:`ObservedCapabilityEstimator` tracking
+        per-replica service rates), an estimator instance, or ``"auto"``
+        (default): observed when autoscaling — newly warmed replicas need
+        live weights — and spec otherwise, keeping static fleets bit-for-bit
+        unchanged.
         """
         from repro.systems import build_system  # local import: avoid cycle
 
@@ -110,17 +286,42 @@ class MultiReplicaSystem:
                     f"replica_specs has {len(replica_specs)} entries but "
                     f"n_replicas={n_replicas}")
         if n_replicas is None:
-            raise ValueError("pass n_replicas or replica_specs")
+            if autoscale is not None:
+                n_replicas = autoscale.min_replicas
+            else:
+                raise ValueError("pass n_replicas, replica_specs or autoscale")
         if n_replicas < 1:
             raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+        if autoscale is not None:
+            if not backpressure:
+                raise ValueError(
+                    "autoscaling needs backpressure: its pressure signals "
+                    "(shed rate, queue wait) live in the global queue")
+            if not autoscale.min_replicas <= n_replicas <= autoscale.max_replicas:
+                raise ValueError(
+                    f"initial fleet of {n_replicas} is outside the autoscale "
+                    f"bounds [{autoscale.min_replicas}, {autoscale.max_replicas}]")
+            if build_kwargs.get("registry") is None:
+                # Scale-out replicas must share the adapter pool with the
+                # initial fleet; build one registry up front instead of one
+                # per build call, with the model/pool-size defaults read off
+                # build_system's own signature (one source of truth).
+                import inspect
+
+                from repro.adapters.registry import AdapterRegistry
+                defaults = inspect.signature(build_system).parameters
+                build_kwargs["registry"] = AdapterRegistry.build(
+                    build_kwargs.get("model", defaults["model"].default),
+                    build_kwargs.get("n_adapters",
+                                     defaults["n_adapters"].default))
+        estimator = cls._resolve_estimator(capability_estimator, autoscale)
         sim = Simulator()
+        factory = ReplicaFactory(preset=preset, sim=sim, seed=seed,
+                                 build_kwargs=dict(build_kwargs))
         replicas = []
         for i in range(n_replicas):
-            overrides = _replica_overrides(
-                replica_specs[i] if replica_specs is not None else None)
-            replicas.append(build_system(
-                preset, sim=sim, seed=seed + i,
-                **{**build_kwargs, **overrides}))
+            spec = replica_specs[i] if replica_specs is not None else None
+            replicas.append(factory.build(i, spec=spec))
         cluster = DataParallelCluster(
             [system.engine for system in replicas],
             policy=dispatch_policy,
@@ -129,28 +330,76 @@ class MultiReplicaSystem:
             slo_policy=slo_policy,
             normalize_capability=normalize_capability,
             rng=np.random.default_rng(seed),
+            capability_estimator=estimator,
+            sim=sim,
         )
-        return cls(replicas=replicas, cluster=cluster, sim=sim,
-                   slo_policy=slo_policy)
+        system = cls(replicas=replicas, cluster=cluster, sim=sim,
+                     slo_policy=slo_policy, factory=factory)
+        if autoscale is not None:
+            system.autoscaler = Autoscaler(
+                sim=sim, cluster=cluster, config=autoscale,
+                provision=system.provision_replica)
+        return system
+
+    @staticmethod
+    def _resolve_estimator(capability_estimator, autoscale):
+        if capability_estimator == "auto":
+            capability_estimator = "observed" if autoscale is not None else "spec"
+        if capability_estimator in ("spec", None):
+            return None
+        if capability_estimator == "observed":
+            return ObservedCapabilityEstimator()
+        return capability_estimator  # an estimator instance
 
     # ------------------------------------------------------------------ #
     @property
     def engines(self) -> list:
         return [system.engine for system in self.replicas]
 
+    @property
+    def replica_handles(self) -> list:
+        """Lifecycle handles, one per replica ever built (index-stable)."""
+        return list(self.cluster.handles)
+
     def capabilities(self) -> list[float]:
         """Normalized per-replica capability weights (mean 1.0)."""
         return self.cluster.capability_weights()
 
+    def provision_replica(self, spec=None, *, provision_delay: float = 0.0,
+                          warmup_delay: float = 0.0):
+        """Build one replica on the shared clock and add it to the fleet.
+
+        The replica derives its seed from its fleet index (``seed + i``)
+        and joins the dispatch set once its cold start elapses.  Returns
+        the new :class:`ReplicaHandle`.
+        """
+        if self.factory is None:
+            raise RuntimeError(
+                "this system has no ReplicaFactory; build it with "
+                "MultiReplicaSystem.build to provision replicas mid-run")
+        index = len(self.replicas)
+        system = self.factory.build(index, spec=spec)
+        self.replicas.append(system)
+        return self.cluster.add_replica(
+            system.engine, provision_delay=provision_delay,
+            warmup_delay=warmup_delay)
+
     def run_trace(self, requests, horizon: Optional[float] = None) -> None:
         """Dispatch every arrival through the global scheduler and run."""
+        last_arrival = 0.0
         for request in requests:
             if request.state is not RequestState.CREATED:
                 raise ValueError(
                     f"request {request.request_id} was already run; "
                     "use Trace.fresh()"
                 )
+            last_arrival = max(last_arrival, request.arrival_time)
             self.sim.schedule_at(request.arrival_time, self.cluster.dispatch, request)
+        if self.autoscaler is not None:
+            # Tick until the trace ends (or the horizon); past that, ticks
+            # continue only while work is still queued or in flight.
+            self.autoscaler.start(
+                until=horizon if horizon is not None else last_arrival)
         self.sim.run(until=horizon)
 
     def all_requests(self) -> list[Request]:
@@ -200,10 +449,12 @@ class MultiReplicaSystem:
             cluster_shed=self.cluster.stats.shed,
             cluster_deprioritized=self.cluster.stats.deprioritized,
         )
+        good_completions: Optional[int] = None
         if self.slo_policy is not None:
             arrivals = [r for r in requests if r.arrival_time >= warmup]
             done = [r for r in arrivals if r.finished]
             attained = [r for r in done if self.slo_policy.attained(r)]
+            good_completions = len(attained)
             shed = sum(1 for r in arrivals if r.shed)
             span = kwargs.get("duration")
             if span is None:
@@ -213,6 +464,24 @@ class MultiReplicaSystem:
                 cluster_slo_attainment=(
                     len(attained) / len(arrivals) if arrivals else float("nan")),
                 goodput_rps=len(attained) / span if span > 0 else 0.0,
+            )
+        if self.autoscaler is not None:
+            replica_seconds = self.cluster.replica_seconds(self.sim.now)
+            if good_completions is None:
+                # Without an SLO policy every post-warmup completion counts.
+                good_completions = sum(
+                    1 for r in requests
+                    if r.finished and r.arrival_time >= warmup)
+            summary.extra.update(
+                scale_out_events=self.autoscaler.scale_out_count,
+                scale_in_events=self.autoscaler.scale_in_count,
+                scale_events=list(self.autoscaler.events),
+                replica_seconds=replica_seconds,
+                peak_fleet_size=self.autoscaler.peak_fleet,
+                final_active_replicas=self.cluster.active_count(),
+                goodput_per_replica_second=(
+                    good_completions / replica_seconds
+                    if replica_seconds > 0 else 0.0),
             )
         return summary
 
@@ -261,15 +530,26 @@ class MultiReplicaSystem:
 
 
 def _replica_overrides(spec) -> dict:
-    """Normalize one ``replica_specs`` entry to ``build_system`` overrides."""
+    """Normalize one ``replica_specs`` entry to ``build_system`` overrides.
+
+    GPU-zoo names resolve through :func:`repro.systems.resolve_gpu` — the
+    single resolution helper with the single error message — eagerly, so a
+    bad name in a replica spec fails here with the same diagnostics a bad
+    ``build_system(gpu=...)`` argument produces.
+    """
     if spec is None:
         return {}
     if isinstance(spec, (GpuSpec, str)):
-        return {"gpu": spec}
+        from repro.systems import resolve_gpu  # local import: avoid cycle
+        return {"gpu": resolve_gpu(spec)}
     if isinstance(spec, EngineConfig):
         return {"engine_config": spec}
     if isinstance(spec, dict):
-        return dict(spec)
+        overrides = dict(spec)
+        if isinstance(overrides.get("gpu"), (GpuSpec, str)):
+            from repro.systems import resolve_gpu
+            overrides["gpu"] = resolve_gpu(overrides["gpu"])
+        return overrides
     raise TypeError(
         f"replica spec must be a GpuSpec, GPU name, EngineConfig, dict or "
         f"None, got {type(spec).__name__}")

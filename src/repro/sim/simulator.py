@@ -21,7 +21,7 @@ class Event:
     skipped when popped.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "popped")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
         self.time = time
@@ -29,6 +29,7 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.popped = False  # no longer in the heap (fired or discarded)
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -55,11 +56,17 @@ class Simulator:
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._processed = 0
+        self._cancelled = 0  # cancelled events still sitting in the heap
 
     @property
     def processed_events(self) -> int:
         """Number of events executed so far (cancelled events excluded)."""
         return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Live (not-yet-fired, not-cancelled) events in the heap."""
+        return len(self._heap) - self._cancelled
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
@@ -76,20 +83,46 @@ class Simulator:
         return event
 
     def cancel(self, event: Event) -> None:
-        """Cancel a pending event.  Cancelling twice is harmless."""
-        event.cancelled = True
+        """Cancel a pending event.  Cancelling twice is harmless.
+
+        Cancelled events are lazily skipped when popped; when they outnumber
+        the live ones the heap is compacted in place, so callers that cancel
+        frequently (autoscaler control loops, drain timers) cannot bloat the
+        heap without bound.
+        """
+        if not event.cancelled:
+            event.cancelled = True
+            # An already-fired event is no longer in the heap: cancelling it
+            # stays a no-op and must not skew the pending-event accounting.
+            if not event.popped:
+                self._cancelled += 1
+                if self._cancelled > len(self._heap) - self._cancelled:
+                    self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors.
+
+        Ordering is untouched: events sort totally by ``(time, seq)``, so a
+        rebuilt heap pops in exactly the order the lazy-skip path would.
+        """
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the heap is empty."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap).popped = True
+            self._cancelled -= 1
         return self._heap[0].time if self._heap else None
 
     def step(self) -> bool:
         """Execute the next live event.  Returns False when none remain."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            event.popped = True
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = event.time
             self._processed += 1

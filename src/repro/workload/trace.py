@@ -127,6 +127,9 @@ def synthesize_trace(
     rank_popularity: str = "uniform",
     adapter_popularity: str = "powerlaw",
     powerlaw_alpha: float = 1.0,
+    burst_factor: float = 3.0,
+    burst_fraction: float = 0.1,
+    burst_cycle: float = 120.0,
 ) -> Trace:
     """Generate a request stream.
 
@@ -140,9 +143,16 @@ def synthesize_trace(
         adapter_popularity: ``"uniform"`` or ``"powerlaw"`` over adapters within
             a rank (the paper's default is power-law).
         powerlaw_alpha: Zipf exponent for the power-law choices.
+        burst_factor / burst_fraction / burst_cycle: Burst shape for bursty
+            profiles (see :func:`bursty_arrival_times`); the defaults match
+            the historical fixed values, so existing traces are unchanged.
+            Diurnal/flash-crowd scenarios (e.g. the autoscaling experiments)
+            crank these up.
     """
     if profile.bursty:
-        arrivals = bursty_arrival_times(rng, rps, duration)
+        arrivals = bursty_arrival_times(
+            rng, rps, duration, burst_factor=burst_factor,
+            burst_fraction=burst_fraction, cycle=burst_cycle)
     else:
         arrivals = poisson_arrival_times(rng, rps, duration)
     n = arrivals.size

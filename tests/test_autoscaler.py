@@ -1,0 +1,367 @@
+"""Unit tests: autoscaler control loop, observed-capability estimation, and
+the replica lifecycle end to end through MultiReplicaSystem."""
+
+import pytest
+
+from repro.serving.autoscaler import (
+    Autoscaler,
+    AutoscaleConfig,
+    ObservedCapabilityEstimator,
+)
+from repro.serving.engine import EngineConfig
+from repro.serving.replica import MultiReplicaSystem, ReplicaState
+from repro.workload.request import Request
+
+
+def _burst(n, spacing=0.02, start=0.0, input_tokens=300, output_tokens=30):
+    return [
+        Request(request_id=i, arrival_time=start + i * spacing,
+                input_tokens=input_tokens, output_tokens=output_tokens)
+        for i in range(n)
+    ]
+
+
+# --------------------------------------------------------------------- #
+# AutoscaleConfig validation
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("kwargs", [
+    {"min_replicas": 0},
+    {"min_replicas": 4, "max_replicas": 2},
+    {"tick_interval": 0.0},
+    {"provision_delay": -1.0},
+    {"warmup_delay": -0.5},
+    {"sustain_ticks": 0},
+    {"idle_sustain_ticks": 0},
+    {"cooldown": -1.0},
+    {"scale_out_step": 0},
+    {"scale_in_step": 0},
+    {"shed_rate_threshold": 1.5},
+    {"idle_utilization": -0.1},
+])
+def test_autoscale_config_rejects_bad_values(kwargs):
+    with pytest.raises(ValueError):
+        AutoscaleConfig(**kwargs)
+
+
+def test_idle_sustain_defaults_to_sustain():
+    config = AutoscaleConfig(sustain_ticks=3)
+    assert config.effective_idle_sustain == 3
+    assert AutoscaleConfig(sustain_ticks=2,
+                           idle_sustain_ticks=7).effective_idle_sustain == 7
+
+
+# --------------------------------------------------------------------- #
+# Static fleets are untouched by the refactor
+# --------------------------------------------------------------------- #
+def test_static_build_has_no_autoscaler_and_all_active(big_registry):
+    cluster = MultiReplicaSystem.build(
+        "chameleon", n_replicas=3, registry=big_registry, seed=0)
+    assert cluster.autoscaler is None
+    assert cluster.cluster.capability_estimator is None  # "auto" -> spec
+    assert all(h.state is ReplicaState.ACTIVE for h in cluster.replica_handles)
+    assert cluster.cluster.active_count() == 3
+    assert cluster.cluster.fleet_size() == 3
+
+
+def test_build_with_autoscale_defaults_replicas_to_min(big_registry):
+    cluster = MultiReplicaSystem.build(
+        "slora", registry=big_registry, predictor_accuracy=None, seed=0,
+        autoscale=AutoscaleConfig(min_replicas=2, max_replicas=4))
+    assert len(cluster.replicas) == 2
+    assert cluster.autoscaler is not None
+    # "auto" estimator resolves to observed with autoscaling on.
+    assert cluster.cluster.capability_estimator is not None
+
+
+def test_autoscale_rejects_fleet_outside_bounds(big_registry):
+    with pytest.raises(ValueError):
+        MultiReplicaSystem.build(
+            "slora", n_replicas=6, registry=big_registry,
+            predictor_accuracy=None,
+            autoscale=AutoscaleConfig(min_replicas=1, max_replicas=4))
+
+
+def test_autoscale_requires_backpressure(big_registry):
+    with pytest.raises(ValueError):
+        MultiReplicaSystem.build(
+            "slora", registry=big_registry, predictor_accuracy=None,
+            backpressure=False,
+            autoscale=AutoscaleConfig(min_replicas=1, max_replicas=2))
+
+
+# --------------------------------------------------------------------- #
+# Replica lifecycle through the real engine stack
+# --------------------------------------------------------------------- #
+def test_provision_replica_pays_cold_start(big_registry):
+    cluster = MultiReplicaSystem.build(
+        "slora", n_replicas=1, registry=big_registry,
+        predictor_accuracy=None, seed=0,
+        autoscale=AutoscaleConfig(min_replicas=1, max_replicas=3))
+    handle = cluster.provision_replica(provision_delay=2.0, warmup_delay=1.0)
+    assert handle.state is ReplicaState.PROVISIONING
+    assert len(cluster.replicas) == 2
+    cluster.sim.run(until=2.5)
+    assert handle.state is ReplicaState.WARMING
+    cluster.sim.run(until=3.5)
+    assert handle.state is ReplicaState.ACTIVE
+    assert handle.active_at == pytest.approx(3.0)
+    assert handle.replica_seconds(10.0) == pytest.approx(10.0)
+
+
+def test_provisioned_replica_derives_seed_from_index(big_registry):
+    cluster = MultiReplicaSystem.build(
+        "chameleon", n_replicas=2, registry=big_registry, seed=5,
+        autoscale=AutoscaleConfig(min_replicas=2, max_replicas=4))
+    cluster.provision_replica()
+    assert [system.rng.seed for system in cluster.replicas] == [5, 6, 7]
+
+
+def test_provision_replica_heterogeneous_spec(big_registry):
+    cluster = MultiReplicaSystem.build(
+        "chameleon", n_replicas=1, registry=big_registry, seed=0,
+        autoscale=AutoscaleConfig(min_replicas=1, max_replicas=3))
+    cluster.provision_replica("a100-80gb")
+    assert cluster.replicas[1].gpu.spec.name == "a100-80gb"
+
+
+def test_provision_without_factory_raises(big_registry):
+    cluster = MultiReplicaSystem.build(
+        "slora", n_replicas=1, registry=big_registry,
+        predictor_accuracy=None, seed=0)
+    cluster.factory = None
+    with pytest.raises(RuntimeError):
+        cluster.provision_replica()
+
+
+def test_drain_finishes_inflight_work_then_retires(big_registry):
+    cluster = MultiReplicaSystem.build(
+        "slora", n_replicas=2, registry=big_registry,
+        predictor_accuracy=None, seed=0)
+    requests = _burst(8)
+    cluster.run_trace(requests, horizon=0.3)
+    victim = cluster.cluster.handles[0]
+    before = len(victim.engine.all_requests)
+    assert victim.engine.in_flight_count() > 0
+    cluster.cluster.drain_replica(0)
+    assert victim.state is ReplicaState.DRAINING
+    cluster.sim.run()
+    # The drained replica finished everything it held, took nothing new,
+    # and retired on its last finish; no request was lost.
+    assert victim.state is ReplicaState.RETIRED
+    assert len(victim.engine.all_requests) == before
+    assert all(r.finished for r in cluster.all_requests())
+    assert len(cluster.all_requests()) == len(requests)
+
+
+def test_drain_idle_replica_retires_immediately(big_registry):
+    cluster = MultiReplicaSystem.build(
+        "slora", n_replicas=2, registry=big_registry,
+        predictor_accuracy=None, seed=0)
+    handle = cluster.cluster.drain_replica(1)
+    assert handle.state is ReplicaState.RETIRED
+    # Idempotent on a retired replica.
+    assert cluster.cluster.drain_replica(1).state is ReplicaState.RETIRED
+
+
+def test_drain_cancels_cold_provisioning(big_registry):
+    cluster = MultiReplicaSystem.build(
+        "slora", n_replicas=1, registry=big_registry,
+        predictor_accuracy=None, seed=0,
+        autoscale=AutoscaleConfig(min_replicas=1, max_replicas=3))
+    handle = cluster.provision_replica(provision_delay=5.0)
+    cluster.cluster.drain_replica(handle.index)
+    assert handle.state is ReplicaState.RETIRED
+    cluster.sim.run(until=10.0)
+    # The cancelled cold start never activates later.
+    assert handle.state is ReplicaState.RETIRED
+    assert cluster.cluster.active_count() == 1
+
+
+def test_illegal_lifecycle_transition_raises(big_registry):
+    cluster = MultiReplicaSystem.build(
+        "slora", n_replicas=1, registry=big_registry,
+        predictor_accuracy=None, seed=0)
+    handle = cluster.replica_handles[0]
+    with pytest.raises(RuntimeError):
+        handle.retire(0.0)  # ACTIVE -> RETIRED must pass through DRAINING
+
+
+# --------------------------------------------------------------------- #
+# The control loop end to end
+# --------------------------------------------------------------------- #
+def _overload_config(**overrides):
+    defaults = dict(
+        min_replicas=1, max_replicas=3, tick_interval=1.0,
+        provision_delay=1.0, sustain_ticks=1, cooldown=2.0,
+        queue_wait_threshold=0.5, idle_sustain_ticks=3,
+    )
+    defaults.update(overrides)
+    return AutoscaleConfig(**defaults)
+
+
+def _overloaded_cluster(big_registry, config, duration=40.0, rps=60.0):
+    cluster = MultiReplicaSystem.build(
+        "slora", registry=big_registry, predictor_accuracy=None, seed=0,
+        engine_config=EngineConfig(max_batch_size=8), autoscale=config)
+    n = int(rps * duration)
+    cluster.run_trace(_burst(n, spacing=1.0 / rps))
+    return cluster
+
+
+def test_scales_out_under_sustained_pressure(big_registry):
+    cluster = _overloaded_cluster(big_registry, _overload_config())
+    scaler = cluster.autoscaler
+    assert scaler.scale_out_count > 0
+    assert scaler.peak_fleet > 1
+    assert scaler.peak_fleet <= 3
+    out_events = [e for e in scaler.events if e["action"] == "scale_out"]
+    assert out_events and all(e["fleet_size"] <= 3 for e in scaler.events)
+
+
+def test_scale_out_respects_cooldown(big_registry):
+    cluster = _overloaded_cluster(
+        big_registry, _overload_config(cooldown=1000.0), duration=30.0)
+    assert cluster.autoscaler.scale_out_count == 1
+
+
+def test_never_exceeds_max_replicas(big_registry):
+    cluster = _overloaded_cluster(
+        big_registry, _overload_config(max_replicas=2, cooldown=0.0))
+    assert cluster.autoscaler.peak_fleet <= 2
+    assert len(cluster.replicas) <= 1 + cluster.autoscaler.scale_out_count * 2
+
+
+def test_scales_in_during_idle_lull(big_registry):
+    # A hard burst, then a long silent lull kept alive by one straggler:
+    # the controller must scale out for the burst and back in for the lull.
+    config = _overload_config(cooldown=1.0)
+    cluster = MultiReplicaSystem.build(
+        "slora", registry=big_registry, predictor_accuracy=None, seed=0,
+        engine_config=EngineConfig(max_batch_size=8), autoscale=config)
+    requests = _burst(600, spacing=0.02)
+    straggler = Request(request_id=len(requests), arrival_time=80.0,
+                        input_tokens=50, output_tokens=4)
+    cluster.run_trace(requests + [straggler])
+    scaler = cluster.autoscaler
+    assert scaler.scale_out_count > 0
+    assert scaler.scale_in_count > 0
+    # The lull tore the fleet back down to the floor.
+    assert cluster.cluster.fleet_size() == 1
+    assert all(r.finished for r in cluster.all_requests())
+
+
+def test_summary_extra_accounts_scale_events(big_registry):
+    cluster = _overloaded_cluster(big_registry, _overload_config())
+    extra = cluster.summary(warmup=5.0, duration=40.0).extra
+    assert extra["scale_out_events"] == cluster.autoscaler.scale_out_count
+    assert extra["scale_in_events"] == cluster.autoscaler.scale_in_count
+    assert extra["peak_fleet_size"] == cluster.autoscaler.peak_fleet
+    assert len(extra["scale_events"]) == \
+        extra["scale_out_events"] + extra["scale_in_events"]
+    assert extra["replica_seconds"] == pytest.approx(
+        cluster.cluster.replica_seconds(cluster.sim.now))
+    assert extra["replica_seconds"] > 0
+    assert extra["goodput_per_replica_second"] > 0
+    # Elasticity bills less than peak-sized-everywhere.
+    assert extra["replica_seconds"] <= \
+        cluster.autoscaler.peak_fleet * cluster.sim.now
+
+
+def test_autoscaler_ticks_stop_when_work_drains(big_registry):
+    cluster = _overloaded_cluster(big_registry, _overload_config(),
+                                  duration=10.0)
+    # The run ended: heap is empty (ticks did not self-reschedule forever).
+    assert cluster.sim.peek_time() is None
+    assert cluster.autoscaler.ticks > 0
+
+
+# --------------------------------------------------------------------- #
+# ObservedCapabilityEstimator
+# --------------------------------------------------------------------- #
+def test_estimator_validates_arguments():
+    with pytest.raises(ValueError):
+        ObservedCapabilityEstimator(tau=0.0)
+    with pytest.raises(ValueError):
+        ObservedCapabilityEstimator(min_samples=0)
+    est = ObservedCapabilityEstimator()
+    with pytest.raises(ValueError):
+        est.register(0, 0.0)
+
+
+def test_estimator_cold_start_uses_raw_priors():
+    est = ObservedCapabilityEstimator()
+    est.register(0, 2.0)
+    est.register(1, 1.0)
+    weights = est.weights([0, 1])
+    assert weights[0] == pytest.approx(2.0)
+    assert weights[1] == pytest.approx(1.0)
+    assert est.observed_rate(0) is None
+
+
+def test_estimator_tracks_observed_rates():
+    est = ObservedCapabilityEstimator(min_samples=1)
+    est.register(0, 1.0)
+    est.register(1, 1.0)
+    # Replica 0 finishes every 0.1s, replica 1 every 0.4s.
+    for k in range(1, 41):
+        est.observe_finish(0, k * 0.1)
+    for k in range(1, 11):
+        est.observe_finish(1, k * 0.4)
+    assert est.observed_rate(0) == pytest.approx(10.0, rel=1e-6)
+    assert est.observed_rate(1) == pytest.approx(2.5, rel=1e-6)
+    weights = est.weights([0, 1])
+    assert weights[0] / weights[1] == pytest.approx(4.0, rel=1e-6)
+
+
+def test_estimator_batches_same_timestamp_finishes():
+    est = ObservedCapabilityEstimator(min_samples=1)
+    est.register(0, 1.0)
+    # 4 finishes land together at t=1, the next drain event at t=2: the
+    # per-slot rate is 4 finishes over 1s, not a zero-length interval.
+    for _ in range(4):
+        est.observe_finish(0, 1.0)
+    est.observe_finish(0, 2.0)
+    assert est.observed_rate(0) == pytest.approx(4.0)
+
+
+def test_estimator_idle_closes_measurement_window():
+    est = ObservedCapabilityEstimator(min_samples=1)
+    est.register(0, 1.0)
+    est.observe_finish(0, 1.0)
+    est.observe_finish(0, 1.1, idle=True)  # drained: engine goes idle
+    rate_before = est.observed_rate(0)
+    # A finish an hour later must not count the idle gap as service time.
+    est.observe_finish(0, 3600.0)
+    est.observe_finish(0, 3600.1)
+    assert est.observed_rate(0) == pytest.approx(rate_before, rel=0.2)
+
+
+def test_estimator_calibrates_prior_for_cold_replica():
+    est = ObservedCapabilityEstimator(min_samples=1)
+    est.register(0, 4.0)   # measured below
+    est.register(1, 2.0)   # cold: half the spec capability of replica 0
+    for k in range(1, 21):
+        est.observe_finish(0, k * 0.1)  # 10 finishes/s
+    weights = est.weights([0, 1])
+    # Fleet calibration: 10 rate units per 4 prior units -> the cold
+    # replica's expected rate is 2 * (10 / 4) = 5.
+    assert weights[0] == pytest.approx(10.0, rel=1e-6)
+    assert weights[1] == pytest.approx(5.0, rel=1e-6)
+
+
+def test_estimator_feeds_cluster_weights(big_registry):
+    cluster = MultiReplicaSystem.build(
+        "slora", n_replicas=2, registry=big_registry,
+        predictor_accuracy=None, seed=0, capability_estimator="observed")
+    assert cluster.cluster.capability_estimator is not None
+    cluster.run_trace(_burst(60, spacing=0.05))
+    weights = cluster.capabilities()
+    assert sum(weights) == pytest.approx(2.0)  # normalized over active set
+
+
+def test_explicit_estimator_instance_is_used(big_registry):
+    est = ObservedCapabilityEstimator(tau=5.0)
+    cluster = MultiReplicaSystem.build(
+        "slora", n_replicas=2, registry=big_registry,
+        predictor_accuracy=None, seed=0, capability_estimator=est)
+    assert cluster.cluster.capability_estimator is est

@@ -1,0 +1,189 @@
+"""Lifecycle invariants of the elastic cluster under random interleavings.
+
+Hypothesis drives random sequences of arrivals, finishes, scale-outs (with
+and without cold-start delays), scale-ins and clock advances against the
+real :class:`DataParallelCluster` + :class:`Simulator`, for every dispatch
+policy, and asserts after every operation:
+
+* **No dispatch to non-ACTIVE replicas** — the fake engine asserts its
+  handle is ACTIVE on every ``submit`` (provisioning/warming replicas have
+  not joined; draining/retired ones accept nothing new).
+* **Request conservation** — every arrival is in exactly one place
+  (submitted to exactly one engine, pending at the cluster, or shed), with
+  no duplicates, through arbitrary scale events and scale-in drains.
+* **Drain completion** — a DRAINING replica still holds in-flight work;
+  the moment it drains it is RETIRED (never stuck), and its previously
+  submitted requests remain accounted.
+* **Lifecycle sanity** — states only move along legal edges (the handle
+  itself enforces this), cold replicas cancelled by a scale-in never
+  activate later, and capability weights stay normalized over the active
+  set.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.cluster import DataParallelCluster
+from repro.serving.admission import SloPolicy
+from repro.sim.simulator import Simulator
+from repro.workload.request import Request
+
+
+class _LifecycleEngine:
+    """Saturable fake engine that asserts the lifecycle dispatch contract."""
+
+    def __init__(self, capacity, sim):
+        self.capacity = capacity
+        self.sim = sim
+        self.submitted = []
+        self.in_flight = []
+        self._callbacks = []
+        self.adapter_manager = self
+        # The cluster creates the handle inside add_replica (and a zero-delay
+        # scale-out may drain queued work into this engine before the call
+        # returns), so the handle is looked up lazily from the cluster.
+        self.cluster = None
+        self._handle = None
+
+    @property
+    def handle(self):
+        if self._handle is None and self.cluster is not None:
+            for candidate in self.cluster.handles:
+                if candidate.engine is self:
+                    self._handle = candidate
+                    break
+        return self._handle
+
+    def in_flight_count(self):
+        return len(self.in_flight)
+
+    def is_resident(self, adapter_id):
+        return adapter_id is not None and adapter_id % 2 == 0
+
+    def is_saturated(self):
+        return len(self.in_flight) >= self.capacity
+
+    def on_finish(self, callback):
+        self._callbacks.append(callback)
+
+    def submit(self, request):
+        assert self.handle is not None and self.handle.is_active, \
+            f"dispatch to non-ACTIVE replica (state={self.handle.state})"
+        assert not self.is_saturated(), "submitted to a saturated engine"
+        self.submitted.append(request)
+        self.in_flight.append(request)
+
+    def finish_one(self):
+        request = self.in_flight.pop(0)
+        for callback in self._callbacks:
+            callback(request)
+
+
+def _ops():
+    """Random op sequences over the elastic cluster."""
+    return st.lists(
+        st.tuples(
+            st.sampled_from(["arrive", "finish", "scale_out", "scale_in",
+                             "advance"]),
+            st.integers(min_value=0, max_value=7),
+        ),
+        min_size=1, max_size=50,
+    )
+
+
+def _run_lifecycle(policy, ops, capacity, slo_policy=None):
+    sim = Simulator()
+    engines = [_LifecycleEngine(capacity, sim) for _ in range(2)]
+    cluster = DataParallelCluster(
+        engines, policy=policy, slo_policy=slo_policy, sim=sim,
+        rng=np.random.default_rng(7))
+    for engine in engines:
+        engine.cluster = cluster
+    arrived: list = []
+    for kind, draw in ops:
+        if kind == "arrive":
+            request = Request(
+                request_id=len(arrived), arrival_time=sim.now,
+                input_tokens=10, output_tokens=2,
+                adapter_id=draw if draw < 4 else None)
+            arrived.append(request)
+            cluster.dispatch(request)
+        elif kind == "finish":
+            busy = [e for e in cluster.engines if e.in_flight]
+            if busy:
+                busy[draw % len(busy)].finish_one()
+        elif kind == "scale_out":
+            if cluster.fleet_size() < 5:
+                delay = (draw % 3) * 0.4  # 0, 0.4 or 0.8s cold start
+                engine = _LifecycleEngine(capacity, sim)
+                engine.cluster = cluster
+                cluster.add_replica(engine, provision_delay=delay)
+        elif kind == "scale_in":
+            candidates = [h for h in cluster.handles if h.in_fleet]
+            if len(candidates) > 1:  # keep one replica on its way in
+                cluster.drain_replica(candidates[draw % len(candidates)].index)
+        else:  # advance: fire pending cold-start timers
+            sim.run(until=sim.now + 0.5)
+
+        # --- invariants, after every operation -------------------------- #
+        in_engines = [r.request_id for e in cluster.engines for r in e.submitted]
+        pending = [r.request_id for r in cluster.pending_requests()]
+        shed = [r.request_id for r in cluster.shed_requests()]
+        assert len(in_engines) == len(set(in_engines)), "duplicated dispatch"
+        assert sorted(in_engines + pending + shed) == \
+            [r.request_id for r in arrived], "request lost or duplicated"
+        assert cluster.stats.dispatched + cluster.queue_len() \
+            + cluster.stats.shed == cluster.stats.arrivals == len(arrived)
+        for handle in cluster.handles:
+            if handle.is_draining:
+                assert handle.in_flight() > 0, \
+                    "idle DRAINING replica not retired"
+            if handle.is_retired:
+                assert handle.retired_at is not None
+        # Weights stay normalized over the active set (mean 1.0) and every
+        # non-active replica keeps the neutral weight.
+        active = cluster.active_indices()
+        weights = cluster.capability_weights()
+        if active:
+            assert sum(weights[i] for i in active) / len(active) == \
+                pytest.approx(1.0)
+        for i, handle in enumerate(cluster.handles):
+            if not handle.is_active:
+                assert weights[i] == 1.0
+    # Drain everything that can still run: activate pending cold starts,
+    # then finish all in-flight work.
+    sim.run()
+    for _ in range(10_000):
+        busy = [e for e in cluster.engines if e.in_flight]
+        if not busy:
+            break
+        busy[0].finish_one()
+    # Every draining replica retired once empty; nothing was lost.
+    for handle in cluster.handles:
+        assert not handle.is_draining
+    in_engines = [r.request_id for e in cluster.engines for r in e.submitted]
+    pending = [r.request_id for r in cluster.pending_requests()]
+    shed = [r.request_id for r in cluster.shed_requests()]
+    assert sorted(in_engines + pending + shed) == \
+        [r.request_id for r in arrived]
+    return cluster
+
+
+@pytest.mark.parametrize("policy", DataParallelCluster.POLICIES)
+@given(ops=_ops(), capacity=st.integers(min_value=1, max_value=3))
+@settings(max_examples=25, deadline=None)
+def test_lifecycle_interleavings_conserve_requests(policy, ops, capacity):
+    _run_lifecycle(policy, ops, capacity)
+
+
+@pytest.mark.parametrize("mode", SloPolicy.MODES)
+@given(ops=_ops(),
+       policy=st.sampled_from(DataParallelCluster.POLICIES),
+       deadline=st.floats(min_value=0.05, max_value=2.0))
+@settings(max_examples=15, deadline=None)
+def test_lifecycle_interleavings_with_slo(mode, ops, policy, deadline):
+    slo_policy = SloPolicy(ttft_deadline=deadline, mode=mode)
+    cluster = _run_lifecycle(policy, ops, capacity=1, slo_policy=slo_policy)
+    assert all(r.shed for r in cluster.shed_requests())

@@ -425,3 +425,70 @@ def test_mixed_fleet_runs_and_skews_completions(big_registry, dp_trace):
     counts = cluster.per_replica_counts()
     # The fast replicas absorb more of the trace than the slow one.
     assert min(counts[0], counts[1]) > counts[2]
+
+
+# --------------------------------------------------------------------- #
+# summary().extra edge cases: zero-serving replicas, cold estimators
+# --------------------------------------------------------------------- #
+def test_summary_with_zero_request_replica(big_registry):
+    """A replica that served nothing must not poison the cluster math."""
+    from repro.serving.admission import SloPolicy
+
+    cluster = MultiReplicaSystem.build(
+        "slora", n_replicas=3, registry=big_registry,
+        predictor_accuracy=None, seed=0,
+        slo_policy=SloPolicy(ttft_deadline=100.0))
+    # One request: least_loaded ties break to replica 0; 1 and 2 idle.
+    cluster.run_trace([Request(request_id=0, arrival_time=0.0,
+                               input_tokens=50, output_tokens=2)])
+    counts = cluster.per_replica_counts()
+    assert sorted(counts) == [0, 0, 1]
+    extra = cluster.summary(duration=10.0).extra
+    # max/mean with zero-count replicas: 1 / (1/3) = 3 exactly.
+    assert extra["load_imbalance"] == pytest.approx(3.0)
+    # No adapter lookups anywhere: the aggregate rate is NaN, not a crash.
+    import math
+    assert math.isnan(extra["aggregate_hit_rate"])
+    assert math.isnan(cluster.mean_hit_rate())
+    # Goodput: 1 deadline-compliant completion over the stated 10s window.
+    assert extra["goodput_rps"] == pytest.approx(0.1)
+    assert extra["cluster_slo_attainment"] == 1.0
+    assert extra["p99_dispatch_queue_delay"] == 0.0
+
+
+def test_summary_all_replicas_idle(big_registry):
+    """An empty run (no requests at all) summarizes without dividing by 0."""
+    import math
+
+    cluster = MultiReplicaSystem.build(
+        "slora", n_replicas=2, registry=big_registry,
+        predictor_accuracy=None, seed=0)
+    cluster.run_trace([])
+    extra = cluster.summary().extra
+    assert extra["per_replica_counts"] == [0, 0]
+    assert math.isnan(extra["load_imbalance"])
+    assert math.isnan(extra["aggregate_hit_rate"])
+
+
+def test_estimated_queue_wait_cold_start(big_registry):
+    """Before the first finish event the EWMA is unseeded: the estimator
+    is optimistic (0.0) no matter how long the queue already is."""
+    cluster = MultiReplicaSystem.build(
+        "slora", n_replicas=2, registry=big_registry,
+        predictor_accuracy=None, seed=0,
+        engine_config=EngineConfig(max_batch_size=1))
+    dispatcher = cluster.cluster
+    assert dispatcher.estimated_queue_wait() == 0.0
+    # Saturate both replicas and pile a queue up before anything finishes.
+    for i in range(6):
+        cluster.sim.schedule_at(0.001 * i, dispatcher.dispatch,
+                                Request(request_id=i, arrival_time=0.001 * i,
+                                        input_tokens=400, output_tokens=40))
+    cluster.sim.run(until=0.01)  # arrivals in, nothing finished yet
+    assert dispatcher.queue_len() > 0
+    assert dispatcher._finish_interval_ewma is None
+    assert dispatcher.estimated_queue_wait() == 0.0
+    # After the first inter-finish sample the estimate turns positive.
+    cluster.sim.run()
+    assert dispatcher._finish_interval_ewma is not None
+    assert dispatcher.estimated_queue_wait() > 0.0

@@ -131,3 +131,78 @@ def test_zero_delay_event_fires_at_now():
     sim.schedule(0.0, lambda: seen.append(sim.now))
     sim.run()
     assert seen == [5.0]
+
+
+# --------------------------------------------------------------------- #
+# Heap hygiene: cancelled-event accounting and compaction
+# --------------------------------------------------------------------- #
+def test_pending_events_counts_live_only():
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(6)]
+    assert sim.pending_events == 6
+    sim.cancel(events[0])
+    sim.cancel(events[1])
+    assert sim.pending_events == 4
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_cancel_twice_counts_once():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.cancel(event)
+    sim.cancel(event)
+    assert sim.pending_events == 1
+
+
+def test_compaction_evicts_cancelled_majority():
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    for event in events[:6]:
+        sim.cancel(event)
+    # Cancelled (6) outnumber live (4): the heap was compacted in place.
+    assert len(sim._heap) == 4
+    assert sim.pending_events == 4
+    assert all(not event.cancelled for event in sim._heap)
+
+
+def test_compaction_preserves_firing_order():
+    sim = Simulator()
+    fired = []
+    events = {}
+    for i in range(20):
+        events[i] = sim.schedule(float(20 - i), fired.append, 20 - i)
+    for i in range(0, 20, 2):
+        sim.cancel(events[i])  # cancel every other one -> triggers compaction
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == 10
+
+
+def test_cancel_interleaved_with_execution():
+    sim = Simulator()
+    fired = []
+    keep = [sim.schedule(float(i + 1), fired.append, i) for i in range(8)]
+    # Cancel half mid-run from inside an event callback.
+    def cancel_rest():
+        for event in keep[4:]:
+            sim.cancel(event)
+    sim.schedule(0.5, cancel_rest)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.pending_events == 0
+
+
+def test_cancel_after_fire_keeps_accounting_intact():
+    """Regression: cancelling an already-fired event must stay a no-op —
+    it is not in the heap, so pending_events must not be decremented."""
+    sim = Simulator()
+    fired = sim.schedule(1.0, lambda: None)
+    sim.run()
+    live = sim.schedule(2.0, lambda: None)
+    sim.cancel(fired)
+    sim.cancel(fired)
+    assert sim.pending_events == 1
+    sim.cancel(live)
+    assert sim.pending_events == 0

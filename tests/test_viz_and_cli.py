@@ -174,3 +174,27 @@ def test_cli_cluster_rejects_replica_count_conflict():
 def test_cli_cluster_rejects_slo_without_backpressure():
     with pytest.raises(SystemExit):
         main(["cluster", "--slo-ttft", "1.0", "--no-backpressure"])
+
+
+def test_cli_cluster_autoscale(capsys):
+    assert main(["cluster", "--autoscale", "--min-replicas", "1",
+                 "--max-replicas", "3", "--provision-delay", "1",
+                 "--rps", "30", "--duration", "20", "--warmup", "0",
+                 "--slo-ttft", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "autoscale" in out
+    assert "replica-seconds" in out
+
+
+def test_cli_cluster_autoscale_rejects_no_backpressure():
+    with pytest.raises(SystemExit):
+        main(["cluster", "--autoscale", "--no-backpressure"])
+
+
+def test_cli_cluster_autoscale_rejects_bad_bounds():
+    with pytest.raises(SystemExit):
+        main(["cluster", "--autoscale", "--min-replicas", "4",
+              "--max-replicas", "2"])
+    with pytest.raises(SystemExit):
+        main(["cluster", "--autoscale", "--replicas", "9",
+              "--max-replicas", "4"])
