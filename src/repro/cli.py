@@ -50,6 +50,7 @@ QUICK_OVERRIDES = {
     "fig26": {"duration": 60.0, "replica_counts": (1, 2, 4)},
     "fig27": {"duration": 50.0, "warmup": 10.0},
     "fig28_autoscale": {"duration": 200.0},
+    "fig29_predictive_autoscale": {"duration": 200.0},
     "abl_wrs_degree": {"duration": 90.0, "loads": (9.0, 11.0)},
     "abl_eviction_weights": {"duration": 60.0, "grid_step": 0.5},
     "abl_gdsf": {"duration": 90.0},
@@ -126,6 +127,24 @@ def _cluster_main(argv) -> int:
                         metavar="SECONDS",
                         help="cold-start delay a scale-out replica pays "
                              "before joining the dispatch set (default 10)")
+    parser.add_argument("--autoscale-mode", default="reactive",
+                        choices=("reactive", "predictive"),
+                        help="reactive scales out on observed pressure only; "
+                             "predictive additionally provisions ahead of "
+                             "forecast demand (needs --autoscale)")
+    parser.add_argument("--forecast-window", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="trailing arrival-rate history the predictive "
+                             "forecaster keeps (default 30)")
+    parser.add_argument("--forecast-horizon", type=float, default=None,
+                        metavar="SECONDS",
+                        help="forecast lead time (default: provision delay + "
+                             "warmup + one tick — the full cold start)")
+    parser.add_argument("--forecast-cycle", type=float, default=None,
+                        metavar="SECONDS",
+                        help="workload period enabling the forecaster's "
+                             "seasonal phase histogram (predict periodic "
+                             "bursts before they re-arrive)")
     args = parser.parse_args(argv)
     specs = None
     fleet_gpus = [A40_48GB]  # build_system's default when no specs are given
@@ -149,6 +168,17 @@ def _cluster_main(argv) -> int:
         if args.provision_delay < 0:
             parser.error(f"--provision-delay must be >= 0, "
                          f"got {args.provision_delay}")
+        if args.forecast_window <= 0:
+            parser.error(f"--forecast-window must be > 0, "
+                         f"got {args.forecast_window}")
+        if args.forecast_horizon is not None and args.forecast_horizon <= 0:
+            parser.error(f"--forecast-horizon must be > 0, "
+                         f"got {args.forecast_horizon}")
+        if args.forecast_cycle is not None and args.forecast_cycle <= 0:
+            parser.error(f"--forecast-cycle must be > 0, "
+                         f"got {args.forecast_cycle}")
+    elif args.autoscale_mode != "reactive":
+        parser.error("--autoscale-mode predictive needs --autoscale")
     replicas = args.replicas if args.replicas is not None else \
         (len(specs) if specs else
          (args.min_replicas if args.autoscale else 4))
@@ -189,6 +219,10 @@ def _cluster_main(argv) -> int:
             provision_delay=args.provision_delay,
             queue_wait_threshold=(slo_policy.ttft_deadline / 2
                                   if slo_policy is not None else 2.0),
+            mode=args.autoscale_mode,
+            forecast_window=args.forecast_window,
+            forecast_horizon=args.forecast_horizon,
+            forecast_cycle=args.forecast_cycle,
         )
     cluster = MultiReplicaSystem.build(
         args.preset, n_replicas=replicas, dispatch_policy=args.policy,
@@ -230,19 +264,25 @@ def _cluster_main(argv) -> int:
     if args.policy == "bounded_affinity":
         print(f"  affinity spills           {extra['affinity_spills']}")
     if args.autoscale:
-        print(f"  autoscale                 [{args.min_replicas}, "
+        mode_note = ""
+        if args.autoscale_mode == "predictive":
+            mode_note = (f" ({extra['predictive_scale_out_events']} "
+                         f"forecast-driven)")
+        print(f"  autoscale ({args.autoscale_mode})      "
+              f"[{args.min_replicas}, "
               f"{args.max_replicas}] peak fleet {extra['peak_fleet_size']}, "
-              f"{extra['scale_out_events']} out / "
+              f"{extra['scale_out_events']} out{mode_note} / "
               f"{extra['scale_in_events']} in")
         print(f"  replica-seconds           {extra['replica_seconds']:.1f} "
               f"(goodput {extra['goodput_per_replica_second']:.3f} "
               f"req/replica-s)")
         for event in extra["scale_events"]:
+            tag = " [forecast]" if event.get("reason") == "predictive" else ""
             print(f"    t={event['time']:7.1f}s {event['action']:<9} "
                   f"replicas {event['replicas']} -> fleet "
                   f"{event['fleet_size']} (shed_rate {event['shed_rate']:.3f} "
                   f"queue_wait {event['queue_wait']:.2f}s util "
-                  f"{event['utilization']:.2f})")
+                  f"{event['utilization']:.2f}){tag}")
     print(f"(elapsed: {time.time() - start:.1f}s)")
     return 0
 

@@ -37,6 +37,7 @@ from repro.experiments import (
     fig26_dp_scaling,
     fig27_hetero_cluster,
     fig28_autoscale,
+    fig29_predictive_autoscale,
 )
 
 EXPERIMENTS: dict[str, Callable] = {
@@ -65,6 +66,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "fig26": fig26_dp_scaling.run,
     "fig27": fig27_hetero_cluster.run,
     "fig28_autoscale": fig28_autoscale.run,
+    "fig29_predictive_autoscale": fig29_predictive_autoscale.run,
     # Ablations of design choices (DESIGN.md) and of our modeling assumptions.
     "abl_capability_estimator": abl_capability_estimator.run,
     "abl_wrs_degree": abl_wrs_degree.run,

@@ -94,6 +94,7 @@ class DispatchStats:
 
     arrivals: int = 0          # every request offered to the dispatcher
     dispatched: int = 0        # requests handed to an engine
+    finishes: int = 0          # engine finish events observed cluster-wide
     queued: int = 0            # arrivals that waited in a cluster queue
     spills: int = 0            # bounded-affinity fallbacks past the bound
     shed: int = 0              # arrivals rejected by the SLO policy
@@ -391,6 +392,7 @@ class DataParallelCluster:
 
     def _on_engine_finish(self, handle, request) -> None:
         now = self._now()
+        self.stats.finishes += 1
         if self._last_finish_time is None:
             self._last_finish_time = now
             self._finish_batch = 1

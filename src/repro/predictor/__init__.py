@@ -1,6 +1,16 @@
-"""Predictors: output-length proxy models and histogram load forecaster."""
+"""Predictors: output-length proxy models and load/arrival forecasters."""
 
 from repro.predictor.output_length import BucketPredictor, OutputLengthPredictor
-from repro.predictor.load_forecast import HistogramLoadPredictor
+from repro.predictor.load_forecast import (
+    ArrivalRateForecaster,
+    HistogramLoadPredictor,
+    RateForecast,
+)
 
-__all__ = ["OutputLengthPredictor", "BucketPredictor", "HistogramLoadPredictor"]
+__all__ = [
+    "OutputLengthPredictor",
+    "BucketPredictor",
+    "HistogramLoadPredictor",
+    "ArrivalRateForecaster",
+    "RateForecast",
+]

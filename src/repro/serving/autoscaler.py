@@ -16,6 +16,20 @@ supplies the two controllers that make the fleet elastic:
   drains the least-loaded active one (draining replicas finish their
   in-flight work but accept nothing new).
 
+  In **predictive mode** (``mode="predictive"``) the loop additionally
+  feeds every tick's arrival count into an
+  :class:`~repro.predictor.load_forecast.ArrivalRateForecaster` and, on
+  ticks where the reactive signals are quiet, converts the forecast at
+  ``now + forecast_horizon`` into a target replica count via the fleet's
+  *observed* per-replica service rate (the
+  :class:`ObservedCapabilityEstimator` below).  When the target exceeds
+  the fleet, scale-out fires *ahead* of the demand — the horizon defaults
+  to the full cold-start latency plus one tick, so a predicted burst meets
+  warm replicas instead of a provisioning delay of shed requests.  The
+  reactive path stays intact as the safety net (the effective target is
+  the max of both), scale-in remains reactive-only, and a reactive-mode
+  controller is bit-for-bit unaffected.
+
 * :class:`ObservedCapabilityEstimator` — replaces spec-derived
   ``capability()`` routing weights with an EWMA of each replica's *observed*
   service rate.  Spec weights (compute x HBM bandwidth) are wrong whenever
@@ -38,6 +52,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
+
+from repro.predictor.load_forecast import ArrivalRateForecaster
 
 
 @dataclass(frozen=True)
@@ -82,6 +98,24 @@ class AutoscaleConfig:
         scale_out_spec: Optional replica spec for scale-out replicas (any
             ``replica_specs`` entry: GpuSpec, zoo name, EngineConfig or
             dict of build overrides), enabling heterogeneous scale-out.
+        mode: ``"reactive"`` (default — scale-out only on observed
+            pressure) or ``"predictive"`` (additionally scale out ahead of
+            *forecast* demand; see the module docstring).  Scale-in is
+            reactive in both modes.
+        forecast_window: Trailing seconds of arrival-rate history the
+            forecaster keeps (predictive mode only).
+        forecast_horizon: How far ahead the forecast targets, in seconds.
+            ``None`` derives ``provision_delay + warmup_delay +
+            tick_interval`` — the earliest a replica provisioned *now*
+            could serve, so scale-out leads demand by the full cold start.
+        forecast_cycle: Optional workload period in seconds; enables the
+            forecaster's seasonal phase histogram so bursts seen in
+            previous cycles are predicted before they re-arrive.
+        target_utilization: Fraction of the measured per-replica service
+            rate the predictive target plans to, in (0, 1]: the predictive
+            replica count is ``ceil(forecast_rate / (service_rate *
+            target_utilization))``.  Below 1.0 leaves headroom for forecast
+            error and queueing slack.
     """
 
     min_replicas: int = 1
@@ -98,6 +132,13 @@ class AutoscaleConfig:
     scale_out_step: int = 1
     scale_in_step: int = 1
     scale_out_spec: Any = None
+    mode: str = "reactive"
+    forecast_window: float = 30.0
+    forecast_horizon: Optional[float] = None
+    forecast_cycle: Optional[float] = None
+    target_utilization: float = 0.8
+
+    MODES = ("reactive", "predictive")
 
     def __post_init__(self) -> None:
         if self.min_replicas < 1:
@@ -125,11 +166,36 @@ class AutoscaleConfig:
         if not 0.0 <= self.idle_utilization <= 1.0:
             raise ValueError(
                 f"idle_utilization must be in [0, 1], got {self.idle_utilization}")
+        if self.mode not in self.MODES:
+            raise ValueError(
+                f"unknown autoscale mode {self.mode!r}; pick from {self.MODES}")
+        if self.forecast_window <= 0:
+            raise ValueError(
+                f"forecast_window must be > 0, got {self.forecast_window}")
+        if self.forecast_horizon is not None and self.forecast_horizon <= 0:
+            raise ValueError(
+                f"forecast_horizon must be > 0, got {self.forecast_horizon}")
+        if self.forecast_cycle is not None and self.forecast_cycle <= 0:
+            raise ValueError(
+                f"forecast_cycle must be > 0, got {self.forecast_cycle}")
+        if not 0.0 < self.target_utilization <= 1.0:
+            raise ValueError(
+                f"target_utilization must be in (0, 1], got "
+                f"{self.target_utilization}")
 
     @property
     def effective_idle_sustain(self) -> int:
         return self.idle_sustain_ticks if self.idle_sustain_ticks is not None \
             else self.sustain_ticks
+
+    @property
+    def effective_forecast_horizon(self) -> float:
+        """Forecast lead time: explicit, or the full cold-start latency plus
+        one control-loop tick — the soonest a replica provisioned on this
+        tick could possibly serve."""
+        if self.forecast_horizon is not None:
+            return self.forecast_horizon
+        return self.provision_delay + self.warmup_delay + self.tick_interval
 
 
 class Autoscaler:
@@ -153,14 +219,32 @@ class Autoscaler:
         self.events: list[dict] = []
         self.scale_out_count = 0
         self.scale_in_count = 0
+        #: Scale-out events triggered by the forecast rather than observed
+        #: pressure (always 0 in reactive mode).
+        self.predictive_scale_out_count = 0
         self.ticks = 0
         self.peak_fleet = 0
+        #: The arrival-rate forecaster driving predictive scale-out; built
+        #: from the config so two same-config controllers forecast
+        #: identically.  ``None`` in reactive mode.
+        self.forecaster: Optional[ArrivalRateForecaster] = (
+            ArrivalRateForecaster(window=config.forecast_window,
+                                  cycle=config.forecast_cycle)
+            if config.mode == "predictive" else None)
         self._pressure_ticks = 0
         self._idle_ticks = 0
         self._last_arrivals = 0
         self._last_shed = 0
+        self._last_finishes = 0
         self._last_out_time: Optional[float] = None
         self._last_in_time: Optional[float] = None
+        self._last_eval_time: Optional[float] = None
+        #: Highest per-active-replica fleet throughput over any one tick —
+        #: the demonstrated service capacity the predictive target divides
+        #: demand by.  Tick-window averaging matters: instantaneous finish
+        #: rates spike when a batch drains in a cluster of near-simultaneous
+        #: completions, and those spikes are not sustainable capacity.
+        self._peak_service_rate: Optional[float] = None
         self._until: Optional[float] = None
         self._tick_event = None
 
@@ -173,6 +257,7 @@ class Autoscaler:
         the cluster still holds queued or in-flight work, then stop so the
         event heap can drain."""
         self._until = until
+        self._last_eval_time = self.sim.now
         self.peak_fleet = max(self.peak_fleet, self.cluster.holding_count())
         self._schedule()
 
@@ -213,8 +298,18 @@ class Autoscaler:
         stats = self.cluster.stats
         d_arrivals = stats.arrivals - self._last_arrivals
         d_shed = stats.shed - self._last_shed
+        d_finishes = getattr(stats, "finishes", 0) - self._last_finishes
         self._last_arrivals = stats.arrivals
         self._last_shed = stats.shed
+        self._last_finishes = getattr(stats, "finishes", 0)
+        if self.forecaster is not None:
+            # One rate bucket per tick.  A zero-width bucket (a tick landing
+            # on the start timestamp) carries no rate and is skipped.
+            now = self.sim.now
+            if self._last_eval_time is not None and now > self._last_eval_time:
+                self.forecaster.observe(self._last_eval_time, now, d_arrivals)
+                self._observe_throughput(d_finishes, now - self._last_eval_time)
+            self._last_eval_time = now
         shed_rate = d_shed / d_arrivals if d_arrivals > 0 else 0.0
         queue_wait = self.cluster.estimated_queue_wait() \
             if self.cluster.queue_len() > 0 else 0.0
@@ -235,16 +330,113 @@ class Autoscaler:
             self._pressure_ticks = 0
             self._idle_ticks = 0
 
+        scaled = False
         if pressure and self._pressure_ticks >= cfg.sustain_ticks \
                 and self._cooldown_ok(self._last_out_time):
-            self._scale_out(shed_rate, queue_wait, utilization)
+            scaled = self._scale_out(shed_rate, queue_wait, utilization)
         elif idle and self._idle_ticks >= cfg.effective_idle_sustain \
                 and self._cooldown_ok(self._last_in_time):
-            self._scale_in(shed_rate, queue_wait, utilization)
+            scaled = self._scale_in(shed_rate, queue_wait, utilization)
+        # Predictive scale-out: on ticks where the reactive path did not
+        # *act* (at most one scale event per tick; an attempt that no-ops at
+        # a fleet bound does not count — an idle fleet pinned at
+        # min_replicas is exactly the lull predictive mode exists for), ask
+        # the forecast whether demand a cold-start away exceeds what the
+        # fleet can serve, and provision ahead of it.  The reactive path
+        # above is untouched — on any tick where it acts, it wins — so the
+        # effective scale-out target is the max of both.
+        if not scaled and self.forecaster is not None \
+                and self._cooldown_ok(self._last_out_time):
+            self._evaluate_predictive(shed_rate, queue_wait, utilization)
 
     def _cooldown_ok(self, last_time: Optional[float]) -> bool:
         return (last_time is None
                 or self.sim.now - last_time >= self.config.cooldown)
+
+    # ------------------------------------------------------------------ #
+    # Predictive scale-out
+    # ------------------------------------------------------------------ #
+    def _evaluate_predictive(self, shed_rate, queue_wait, utilization) -> None:
+        cfg = self.config
+        horizon = cfg.effective_forecast_horizon
+        if self._until is not None and self.sim.now + horizon > self._until:
+            # The predicted demand lands past the run's arrival window:
+            # provisioning for it would bill replicas that never serve.
+            return
+        forecast = self.forecaster.forecast(self.sim.now, horizon)
+        # Plan to the *lower* confidence band: pre-provisioning is a bet paid
+        # in replica-seconds, so it is only placed on demand the forecaster
+        # is confident about — a noisy trend extrapolation has a wide band
+        # and a low floor, a burst seen in previous cycles a high one.
+        # Underestimates cost nothing extra: the reactive net still fires.
+        #
+        # And only on predicted demand *growth*: a fleet keeping up with a
+        # steady load demonstrates exactly that load as its throughput, so
+        # dividing an unchanged forecast by it would inflate the target by
+        # 1/target_utilization forever.  Demand already here is the reactive
+        # controller's business; the forecast's job is what comes next.
+        if forecast.lower <= self.forecaster.observed_rate():
+            return
+        service_rate = self._per_replica_service_rate()
+        if service_rate is None:
+            return  # no measured capacity yet: the reactive net owns this
+        target = math.ceil(
+            forecast.lower / (service_rate * cfg.target_utilization))
+        fleet = self.cluster.fleet_size()
+        if target <= fleet:
+            return
+        added = self._provision_replicas(target - fleet)
+        if not added:
+            return
+        self.predictive_scale_out_count += 1
+        self._record(
+            "scale_out", added, shed_rate, queue_wait, utilization,
+            reason="predictive",
+            forecast_rate=round(forecast.rate, 6),
+            forecast_lower=round(forecast.lower, 6),
+            forecast_upper=round(forecast.upper, 6),
+            forecast_basis=forecast.basis,
+            forecast_horizon=round(horizon, 6),
+            service_rate=round(service_rate, 6),
+            target_replicas=target,
+        )
+
+    def _observe_throughput(self, d_finishes: int, dt: float) -> None:
+        """Track the peak per-replica fleet throughput per tick.
+
+        The finish counter is cluster-wide, so the denominator must count
+        every replica that could have contributed during the tick: the
+        active set, DRAINING replicas (still emptying), and replicas that
+        *retired within this tick* after serving (a drainer flushing its
+        last batch and retiring on its final finish).  Counting fewer
+        would credit their work to the survivors, and the peak ratchet
+        would latch that phantom per-replica capacity forever.
+        """
+        tick_start = self.sim.now - dt
+        serving = sum(
+            1 for handle in self.cluster.handles
+            if handle.is_active or handle.is_draining
+            or (handle.is_retired and handle.active_at is not None
+                and handle.retired_at > tick_start))
+        if d_finishes <= 0 or dt <= 0 or serving <= 0:
+            return
+        rate = d_finishes / dt / serving
+        if self._peak_service_rate is None or rate > self._peak_service_rate:
+            self._peak_service_rate = rate
+
+    def _per_replica_service_rate(self) -> Optional[float]:
+        """Demonstrated per-replica service capacity, or ``None`` before
+        any tick has observed finishes.
+
+        The unit converting a forecast arrival rate into a replica count
+        must be *capacity*, not current throughput: a lightly loaded fleet
+        finishes exactly as fast as work arrives, so dividing a burst
+        forecast by the lull throughput would over-provision precisely when
+        the fleet is idlest.  The peak one-tick throughput per active
+        replica is the capacity the fleet has actually demonstrated (the
+        first burst calibrates it for every later one).
+        """
+        return self._peak_service_rate
 
     def _utilization(self) -> float:
         """Mean batch-fill fraction across active replicas (0 when none)."""
@@ -271,14 +463,23 @@ class Autoscaler:
     # ------------------------------------------------------------------ #
     # Actions
     # ------------------------------------------------------------------ #
-    def _scale_out(self, shed_rate, queue_wait, utilization) -> None:
+    def _provision_replicas(self, want: int) -> list:
+        """Provision up to ``want`` replicas and run the shared scale-out
+        bookkeeping; returns the new replica indices ([] when the holding
+        ceiling left no room).
+
+        Bounded by GPUs actually held (draining replicas included): a slow
+        drain must not let pressure push concurrent holding past the cap.
+        A scale-out — forecast-driven ones typically fire in a lull —
+        also restarts the idle streak: one more idle tick could otherwise
+        trigger a scale-in that cancels the still-cold replicas just
+        provisioned (scale-in victimizes cold replicas first).
+        """
         cfg = self.config
-        # Bound by GPUs actually held (draining replicas included): a slow
-        # drain must not let pressure push concurrent holding past the cap.
         room = cfg.max_replicas - self.cluster.holding_count()
-        count = min(cfg.scale_out_step, room)
+        count = min(want, room)
         if count <= 0:
-            return
+            return []
         added = []
         for _ in range(count):
             handle = self._provision(
@@ -289,16 +490,26 @@ class Autoscaler:
             added.append(handle.index)
         self.scale_out_count += 1
         self._pressure_ticks = 0
+        self._idle_ticks = 0
         self._last_out_time = self.sim.now
-        self._record("scale_out", added, shed_rate, queue_wait, utilization)
+        return added
 
-    def _scale_in(self, shed_rate, queue_wait, utilization) -> None:
+    def _scale_out(self, shed_rate, queue_wait, utilization) -> bool:
+        """Reactive scale-out; True when replicas were actually added."""
+        added = self._provision_replicas(self.config.scale_out_step)
+        if not added:
+            return False
+        self._record("scale_out", added, shed_rate, queue_wait, utilization)
+        return True
+
+    def _scale_in(self, shed_rate, queue_wait, utilization) -> bool:
+        """Reactive scale-in; True when replicas were actually drained."""
         cfg = self.config
         candidates = [h for h in self.cluster.handles if h.in_fleet]
         room = len(candidates) - cfg.min_replicas
         count = min(cfg.scale_in_step, room)
         if count <= 0:
-            return
+            return False
         # Cancel still-cold replicas first (they never served), then drain
         # the least-loaded active one; newest (highest index) breaks ties so
         # scale-out replicas retire before the original fleet.
@@ -314,8 +525,13 @@ class Autoscaler:
         self._last_in_time = self.sim.now
         self._record("scale_in", [h.index for h in victims],
                      shed_rate, queue_wait, utilization)
+        return True
 
-    def _record(self, action, indices, shed_rate, queue_wait, utilization) -> None:
+    def _record(self, action, indices, shed_rate, queue_wait, utilization,
+                **extra) -> None:
+        """Append one scale event.  ``extra`` carries the predictive
+        diagnostics (forecast, service rate, target); reactive events take
+        none, so their records stay byte-identical across modes."""
         self.events.append(dict(
             time=self.sim.now,
             action=action,
@@ -326,6 +542,7 @@ class Autoscaler:
             shed_rate=round(shed_rate, 6),
             queue_wait=round(queue_wait, 6),
             utilization=round(utilization, 6),
+            **extra,
         ))
 
 

@@ -52,10 +52,13 @@ included), and an :class:`~repro.serving.autoscaler.Autoscaler`
 (``autoscale=`` on :meth:`MultiReplicaSystem.build`) grows the fleet on
 sustained shed-rate/queue-delay pressure and shrinks it on sustained
 idleness, within ``[min_replicas, max_replicas]`` and under a cooldown.
-Draining replicas finish their in-flight work but accept nothing new;
-provisioning replicas pay a configurable cold-start delay before joining.
-With ``autoscale=None`` (the default) the fleet is static and behaves
-bit-for-bit as before.
+In ``mode="predictive"`` the controller additionally feeds per-tick arrival
+counts into an :class:`~repro.predictor.load_forecast.ArrivalRateForecaster`
+and provisions *ahead* of forecast demand (the reactive path stays as the
+safety net; scale-in stays reactive-only).  Draining replicas finish their
+in-flight work but accept nothing new; provisioning replicas pay a
+configurable cold-start delay before joining.  With ``autoscale=None`` (the
+default) the fleet is static and behaves bit-for-bit as before.
 """
 
 from __future__ import annotations
@@ -475,6 +478,8 @@ class MultiReplicaSystem:
             summary.extra.update(
                 scale_out_events=self.autoscaler.scale_out_count,
                 scale_in_events=self.autoscaler.scale_in_count,
+                predictive_scale_out_events=(
+                    self.autoscaler.predictive_scale_out_count),
                 scale_events=list(self.autoscaler.events),
                 replica_seconds=replica_seconds,
                 peak_fleet_size=self.autoscaler.peak_fleet,

@@ -37,6 +37,12 @@ def _burst(n, spacing=0.02, start=0.0, input_tokens=300, output_tokens=30):
     {"scale_in_step": 0},
     {"shed_rate_threshold": 1.5},
     {"idle_utilization": -0.1},
+    {"mode": "clairvoyant"},
+    {"forecast_window": 0.0},
+    {"forecast_horizon": 0.0},
+    {"forecast_cycle": -5.0},
+    {"target_utilization": 0.0},
+    {"target_utilization": 1.5},
 ])
 def test_autoscale_config_rejects_bad_values(kwargs):
     with pytest.raises(ValueError):
@@ -48,6 +54,31 @@ def test_idle_sustain_defaults_to_sustain():
     assert config.effective_idle_sustain == 3
     assert AutoscaleConfig(sustain_ticks=2,
                            idle_sustain_ticks=7).effective_idle_sustain == 7
+
+
+def test_forecast_horizon_defaults_to_full_cold_start():
+    config = AutoscaleConfig(provision_delay=7.0, warmup_delay=2.0,
+                             tick_interval=1.5)
+    assert config.effective_forecast_horizon == pytest.approx(10.5)
+    explicit = AutoscaleConfig(forecast_horizon=4.0, provision_delay=7.0)
+    assert explicit.effective_forecast_horizon == 4.0
+
+
+def test_forecaster_built_only_in_predictive_mode(big_registry):
+    reactive = MultiReplicaSystem.build(
+        "slora", registry=big_registry, predictor_accuracy=None, seed=0,
+        autoscale=AutoscaleConfig(min_replicas=1, max_replicas=2))
+    predictive = MultiReplicaSystem.build(
+        "slora", registry=big_registry, predictor_accuracy=None, seed=0,
+        autoscale=AutoscaleConfig(min_replicas=1, max_replicas=2,
+                                  mode="predictive", forecast_window=12.0,
+                                  forecast_cycle=60.0))
+    assert reactive.autoscaler.forecaster is None
+    assert reactive.autoscaler.predictive_scale_out_count == 0
+    forecaster = predictive.autoscaler.forecaster
+    assert forecaster is not None
+    assert forecaster.window == 12.0
+    assert forecaster.cycle == 60.0
 
 
 # --------------------------------------------------------------------- #
@@ -265,6 +296,100 @@ def test_summary_extra_accounts_scale_events(big_registry):
     # Elasticity bills less than peak-sized-everywhere.
     assert extra["replica_seconds"] <= \
         cluster.autoscaler.peak_fleet * cluster.sim.now
+
+
+def test_predictive_mode_scales_out_within_bounds(big_registry):
+    config = _overload_config(mode="predictive", forecast_window=5.0)
+    cluster = _overloaded_cluster(big_registry, config)
+    scaler = cluster.autoscaler
+    assert scaler.scale_out_count > 0
+    assert scaler.peak_fleet <= 3
+    assert all(e["holding"] <= 3 for e in scaler.events)
+    extra = cluster.summary(warmup=5.0, duration=40.0).extra
+    assert extra["predictive_scale_out_events"] == \
+        scaler.predictive_scale_out_count
+    # Every forecast-driven event carries its diagnostics; reactive events
+    # carry none (their records stay byte-identical across modes).
+    for event in scaler.events:
+        if event.get("reason") == "predictive":
+            assert event["forecast_lower"] > 0
+            assert event["forecast_upper"] >= event["forecast_rate"] >= \
+                event["forecast_lower"]
+            assert event["service_rate"] > 0
+            assert event["target_replicas"] > 0
+        else:
+            assert "forecast_rate" not in event
+
+
+def test_predictive_requires_service_rate_history(big_registry):
+    # Before any finish has been observed there is no capacity unit to
+    # divide a forecast by, so the predictive path must stay silent (the
+    # reactive net owns cold starts): a flood of arrivals alone — requests
+    # too long to finish within the run — never triggers a forecast-driven
+    # event, however high the forecast rate.
+    config = _overload_config(
+        mode="predictive", forecast_horizon=0.5, queue_wait_threshold=None)
+    cluster = MultiReplicaSystem.build(
+        "slora", registry=big_registry, predictor_accuracy=None, seed=0,
+        engine_config=EngineConfig(max_batch_size=8), autoscale=config)
+    requests = _burst(40, spacing=0.001, output_tokens=4000)
+    cluster.run_trace(requests, horizon=3.0)
+    scaler = cluster.autoscaler
+    assert cluster.cluster.stats.finishes == 0  # nothing completed yet
+    assert scaler.forecaster.observed_rate() > 5.0  # demand clearly visible
+    assert scaler.predictive_scale_out_count == 0
+
+
+def test_predictive_scale_out_restarts_idle_countdown(big_registry):
+    # A forecast-driven scale-out typically fires in a lull; the idle
+    # streak must restart so the very next tick's reactive scale-in cannot
+    # cancel the replicas just pre-provisioned for the predicted burst.
+    config = _overload_config(mode="predictive", forecast_window=5.0,
+                              idle_sustain_ticks=2)
+    cluster = _overloaded_cluster(big_registry, config)
+    scaler = cluster.autoscaler
+    out_times = {e["time"] for e in scaler.events
+                 if e.get("reason") == "predictive"}
+    in_events = [e for e in scaler.events if e["action"] == "scale_in"]
+    # No scale-in within idle_sustain ticks of a forecast-driven scale-out.
+    for event in in_events:
+        assert all(event["time"] - t >= 2 * config.tick_interval
+                   for t in out_times if t < event["time"])
+
+
+def test_predictive_fires_from_an_at_floor_idle_lull(big_registry):
+    # Regression: an idle fleet pinned at min_replicas takes the scale-in
+    # branch every tick; the attempt no-ops at the floor and must NOT
+    # count as "this tick already scaled" — that would suppress predictive
+    # evaluation during exactly the lull pre-provisioning exists for.
+    # Bursts 1 and 2 teach the seasonal histogram (two cycles: enough for
+    # the phase band to carry confidence) and the capacity unit; each lull
+    # parks the fleet back at the floor; the forecast for burst 3 must
+    # provision ahead from inside the second at-floor lull.
+    config = AutoscaleConfig(
+        min_replicas=1, max_replicas=4, tick_interval=1.0,
+        provision_delay=2.0, cooldown=2.0, sustain_ticks=1,
+        queue_wait_threshold=0.5, idle_sustain_ticks=2, idle_utilization=0.9,
+        mode="predictive", forecast_window=8.0, forecast_cycle=30.0)
+    cluster = MultiReplicaSystem.build(
+        "slora", registry=big_registry, predictor_accuracy=None, seed=0,
+        engine_config=EngineConfig(max_batch_size=8), autoscale=config)
+    requests = []
+    for cycle_start in (0.0, 30.0, 60.0):
+        burst = _burst(300, spacing=1 / 30, start=cycle_start)   # 10s @ 30 RPS
+        lull = _burst(18, spacing=1.0, start=cycle_start + 10.0)  # 18s @ 1 RPS
+        for request in burst + lull:
+            request.request_id = len(requests)
+            requests.append(request)
+    cluster.run_trace(requests)
+    scaler = cluster.autoscaler
+    lull_predictive = [
+        e for e in scaler.events
+        if e.get("reason") == "predictive" and 42.0 <= e["time"] < 60.0]
+    assert lull_predictive, (
+        "no forecast-driven scale-out fired from the at-floor lull ahead "
+        "of burst 3: "
+        f"events={[(e['time'], e['action']) for e in scaler.events]}")
 
 
 def test_autoscaler_ticks_stop_when_work_drains(big_registry):

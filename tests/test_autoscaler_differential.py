@@ -1,0 +1,167 @@
+"""Differential + determinism suite for predictive autoscaling.
+
+Predictive mode must be a *strict superset* of reactive behavior, never a
+regression:
+
+* On a steady (burst-free) trace the forecast never exceeds capacity, so the
+  two modes must produce **identical scale-event sequences** and
+  **bit-identical ``summary()`` metrics** — whether that sequence is empty
+  (right-sized fleet) or non-empty (oversized fleet scaling in; scale-in is
+  reactive-only in both modes).
+* On a bursty trace, predictive's first scale-out must **strictly precede**
+  reactive's: the forecaster reacts to the arrival *rate*, which jumps at
+  burst onset, while reactive pressure needs a queue to form and sustain.
+* Two full autoscaled runs with the same seed and mode must yield
+  byte-identical ``all_requests()`` timelines — the forecaster introduces
+  no hidden ``random``/clock dependence.
+
+Traces here are hand-built with fixed inter-arrival spacing: determinism of
+the *controller* is under test, so the workload must not add Poisson noise
+of its own.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.serving.autoscaler import AutoscaleConfig
+from repro.serving.engine import EngineConfig
+from repro.serving.replica import MultiReplicaSystem
+from repro.workload.request import Request
+
+
+def _steady(rate_rps: float, duration: float, start: float = 0.0,
+            start_id: int = 0, input_tokens: int = 200,
+            output_tokens: int = 20) -> list:
+    """Deterministic fixed-spacing arrivals at ``rate_rps`` for ``duration``."""
+    spacing = 1.0 / rate_rps
+    n = int(duration * rate_rps)
+    return [
+        Request(request_id=start_id + i, arrival_time=start + i * spacing,
+                input_tokens=input_tokens, output_tokens=output_tokens)
+        for i in range(n)
+    ]
+
+
+def _steady_then_burst() -> list:
+    """60s of 5 RPS, then a 20s burst at 50 RPS — the burst starts mid-run,
+    after the forecaster has a window and the fleet a measured capacity."""
+    steady = _steady(5.0, 60.0)
+    burst = _steady(50.0, 20.0, start=60.0, start_id=len(steady))
+    return steady + burst
+
+
+def _config(mode: str, **overrides) -> AutoscaleConfig:
+    defaults = dict(
+        min_replicas=2, max_replicas=6, tick_interval=1.0,
+        provision_delay=2.0, cooldown=3.0, sustain_ticks=2,
+        idle_sustain_ticks=8, queue_wait_threshold=0.5,
+        mode=mode, forecast_window=10.0,
+    )
+    defaults.update(overrides)
+    return AutoscaleConfig(**defaults)
+
+
+def _build(big_registry, config: AutoscaleConfig, n_replicas: int,
+           seed: int = 3) -> MultiReplicaSystem:
+    return MultiReplicaSystem.build(
+        "slora", n_replicas=n_replicas, registry=big_registry,
+        predictor_accuracy=None, seed=seed,
+        engine_config=EngineConfig(max_batch_size=8), autoscale=config)
+
+
+def _timeline(cluster) -> list:
+    """Byte-comparable per-request record of everything a run produced."""
+    return [
+        (r.request_id, r.arrival_time, r.first_token_time, r.finish_time,
+         r.dispatch_queue_delay, r.shed)
+        for r in sorted(cluster.all_requests(), key=lambda r: r.request_id)
+    ]
+
+
+def _summary_bytes(cluster, duration: float = 60.0) -> str:
+    """Byte-comparable rendering of the full summary (every metric and the
+    whole ``extra`` dict).  ``repr`` rather than dict equality so NaN
+    metrics (e.g. hit rate on a cache-less preset) compare as equal bytes
+    instead of NaN != NaN."""
+    return repr(dataclasses.asdict(
+        cluster.summary(warmup=5.0, duration=duration)))
+
+
+def _run(big_registry, mode: str, trace_fn, n_replicas: int,
+         config_overrides: dict = {}, seed: int = 3):
+    cluster = _build(big_registry, _config(mode, **config_overrides),
+                     n_replicas, seed=seed)
+    cluster.run_trace(trace_fn())
+    return cluster
+
+
+# --------------------------------------------------------------------- #
+# Steady-trace differential: predictive == reactive, bit for bit
+# --------------------------------------------------------------------- #
+def test_steady_trace_right_sized_fleet_is_bit_identical(big_registry):
+    results = {
+        mode: _run(big_registry, mode, lambda: _steady(5.0, 60.0), 2)
+        for mode in ("reactive", "predictive")
+    }
+    reactive, predictive = results["reactive"], results["predictive"]
+    # A right-sized fleet on a steady trace never scales, in either mode.
+    assert reactive.autoscaler.events == []
+    assert predictive.autoscaler.events == []
+    assert predictive.autoscaler.predictive_scale_out_count == 0
+    # Bit-identical request timelines and summary metrics.
+    assert _timeline(reactive) == _timeline(predictive)
+    assert _summary_bytes(reactive) == _summary_bytes(predictive)
+
+
+def test_steady_trace_oversized_fleet_scales_in_identically(big_registry):
+    # An oversized fleet scales in on idleness; scale-in is reactive-only
+    # in both modes, so the (non-empty) event sequences must match exactly.
+    results = {
+        mode: _run(big_registry, mode, lambda: _steady(5.0, 60.0), 5,
+                   config_overrides=dict(idle_sustain_ticks=4, cooldown=2.0))
+        for mode in ("reactive", "predictive")
+    }
+    reactive, predictive = results["reactive"], results["predictive"]
+    assert reactive.autoscaler.scale_in_count > 0
+    assert reactive.autoscaler.events == predictive.autoscaler.events
+    assert predictive.autoscaler.predictive_scale_out_count == 0
+    assert _timeline(reactive) == _timeline(predictive)
+    assert _summary_bytes(reactive) == _summary_bytes(predictive)
+
+
+# --------------------------------------------------------------------- #
+# Bursty trace: predictive strictly leads
+# --------------------------------------------------------------------- #
+def test_bursty_trace_predictive_scales_out_strictly_first(big_registry):
+    results = {
+        mode: _run(big_registry, mode, _steady_then_burst, 2)
+        for mode in ("reactive", "predictive")
+    }
+    first_out = {}
+    for mode, cluster in results.items():
+        outs = [e for e in cluster.autoscaler.events
+                if e["action"] == "scale_out"]
+        assert outs, f"{mode} mode never scaled out under a 10x burst"
+        first_out[mode] = outs[0]["time"]
+    assert first_out["predictive"] < first_out["reactive"]
+    # The lead comes from the forecast, not a different reactive path.
+    predictive_outs = [e for e in results["predictive"].autoscaler.events
+                       if e.get("reason") == "predictive"]
+    assert predictive_outs and predictive_outs[0]["time"] == \
+        first_out["predictive"]
+
+
+# --------------------------------------------------------------------- #
+# Seed determinism: no hidden random/clock leakage in the forecaster
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("mode", AutoscaleConfig.MODES)
+def test_same_seed_runs_are_byte_identical(big_registry, mode):
+    runs = [
+        _run(big_registry, mode, _steady_then_burst, 2, seed=11)
+        for _ in range(2)
+    ]
+    assert _timeline(runs[0]) == _timeline(runs[1])
+    assert runs[0].autoscaler.events == runs[1].autoscaler.events
+    assert _summary_bytes(runs[0], duration=80.0) == \
+        _summary_bytes(runs[1], duration=80.0)

@@ -27,6 +27,7 @@ from hypothesis import strategies as st
 
 from repro.hardware.cluster import DataParallelCluster
 from repro.serving.admission import SloPolicy
+from repro.serving.autoscaler import Autoscaler, AutoscaleConfig
 from repro.sim.simulator import Simulator
 from repro.workload.request import Request
 
@@ -187,3 +188,139 @@ def test_lifecycle_interleavings_with_slo(mode, ops, policy, deadline):
     slo_policy = SloPolicy(ttft_deadline=deadline, mode=mode)
     cluster = _run_lifecycle(policy, ops, capacity=1, slo_policy=slo_policy)
     assert all(r.shed for r in cluster.shed_requests())
+
+
+# --------------------------------------------------------------------- #
+# Autoscaled interleavings: the control loop (reactive and predictive)
+# drives every scale event itself — bounds, cooldowns and conservation
+# must hold through arbitrary arrival/finish/advance interleavings.
+# --------------------------------------------------------------------- #
+def _autoscale_ops():
+    return st.lists(
+        st.tuples(
+            st.sampled_from(["arrive", "burst", "finish", "advance"]),
+            st.integers(min_value=0, max_value=7),
+        ),
+        min_size=5, max_size=40,
+    )
+
+
+def _assert_autoscale_invariants(cluster, scaler, config, arrived):
+    # Fleet bounds: the floor counts provisioning/warming/active replicas,
+    # the ceiling everything still holding a GPU (draining included).
+    assert cluster.fleet_size() >= config.min_replicas
+    assert cluster.holding_count() <= config.max_replicas
+    # Request conservation through forecast-driven scale events.
+    in_engines = [r.request_id for e in cluster.engines for r in e.submitted]
+    pending = [r.request_id for r in cluster.pending_requests()]
+    assert len(in_engines) == len(set(in_engines))
+    assert sorted(in_engines + pending) == [r.request_id for r in arrived]
+    # Cooldowns: consecutive same-direction events are spaced >= cooldown
+    # (predictive and reactive scale-outs share one cooldown clock).
+    for action in ("scale_out", "scale_in"):
+        times = [e["time"] for e in scaler.events if e["action"] == action]
+        assert all(b - a >= config.cooldown - 1e-9
+                   for a, b in zip(times, times[1:]))
+
+
+def test_throughput_counts_replicas_retired_mid_tick():
+    # Regression: a draining replica that flushes its last batch and
+    # retires inside a tick still contributed those finishes — crediting
+    # them to the survivors alone would latch phantom per-replica capacity
+    # in the peak ratchet (it never decays) and under-provision every
+    # later predictive target.
+    sim = Simulator()
+    engines = [_LifecycleEngine(4, sim) for _ in range(2)]
+    cluster = DataParallelCluster(engines, policy="least_loaded", sim=sim,
+                                  rng=np.random.default_rng(7))
+    for engine in engines:
+        engine.cluster = cluster
+    config = AutoscaleConfig(min_replicas=1, max_replicas=4,
+                             tick_interval=1.0, mode="predictive")
+    scaler = Autoscaler(sim=sim, cluster=cluster, config=config,
+                        provision=lambda *a, **k: None)
+    scaler.start(until=3.0)
+    for i in range(8):  # fill both engines (JSQ alternates)
+        cluster.dispatch(Request(request_id=i, arrival_time=0.0,
+                                 input_tokens=10, output_tokens=2))
+    sim.run(until=1.2)  # first tick (t=1) passes with zero finishes
+    cluster.drain_replica(1)
+    for _ in range(4):  # the drainer flushes its whole batch mid-tick...
+        engines[1].finish_one()
+    assert cluster.handles[1].is_retired  # ...and retires on its last finish
+    sim.run(until=2.2)  # tick at t=2 observes the 4 finishes
+    # 4 finishes over 1s across 2 serving replicas (the survivor + the
+    # mid-tick retiree) = 2/s per replica, not 4/s.
+    assert scaler._peak_service_rate == pytest.approx(2.0)
+
+
+@pytest.mark.parametrize("mode", AutoscaleConfig.MODES)
+@given(ops=_autoscale_ops(), capacity=st.integers(min_value=1, max_value=3))
+@settings(max_examples=12, deadline=None)
+def test_autoscaled_interleavings_respect_bounds(mode, ops, capacity):
+    sim = Simulator()
+    engines = [_LifecycleEngine(capacity, sim)]
+    cluster = DataParallelCluster(
+        engines, policy="least_loaded", sim=sim,
+        rng=np.random.default_rng(7))
+    engines[0].cluster = cluster
+    config = AutoscaleConfig(
+        min_replicas=1, max_replicas=4, tick_interval=0.5,
+        provision_delay=0.5, cooldown=1.0, sustain_ticks=1,
+        queue_wait_threshold=0.2, idle_sustain_ticks=2,
+        mode=mode, forecast_window=5.0, forecast_cycle=10.0)
+
+    def provision(spec, *, provision_delay, warmup_delay):
+        engine = _LifecycleEngine(capacity, sim)
+        engine.cluster = cluster
+        return cluster.add_replica(engine, provision_delay=provision_delay,
+                                   warmup_delay=warmup_delay)
+
+    scaler = Autoscaler(sim=sim, cluster=cluster, config=config,
+                        provision=provision)
+    scaler.start(until=100.0)
+    arrived: list = []
+
+    def arrive(n):
+        for _ in range(n):
+            request = Request(request_id=len(arrived), arrival_time=sim.now,
+                              input_tokens=10, output_tokens=2)
+            arrived.append(request)
+            cluster.dispatch(request)
+
+    for kind, draw in ops:
+        if kind == "arrive":
+            arrive(1)
+        elif kind == "burst":
+            arrive(4 + draw)
+        elif kind == "finish":
+            busy = [e for e in cluster.engines if e.in_flight]
+            if busy:
+                busy[draw % len(busy)].finish_one()
+        else:  # advance: fire ticks and cold-start timers
+            sim.run(until=sim.now + 0.6)
+        _assert_autoscale_invariants(cluster, scaler, config, arrived)
+
+    # Drain: finish everything (queued work re-dispatches on finish
+    # events), then let pending timers fire and ticks wind down.
+    for _ in range(10_000):
+        busy = [e for e in cluster.engines if e.in_flight]
+        if not busy:
+            break
+        busy[0].finish_one()
+    scaler.stop()
+    sim.run()
+    _assert_autoscale_invariants(cluster, scaler, config, arrived)
+    if mode == "reactive":
+        assert scaler.predictive_scale_out_count == 0
+    else:
+        # Every forecast-driven event stayed within the ceiling and left a
+        # full diagnostic record.
+        for event in scaler.events:
+            if event.get("reason") == "predictive":
+                assert event["holding"] <= config.max_replicas
+                assert event["forecast_lower"] > 0
+                # The recorded fleet size includes the newcomers; the target
+                # must have exceeded the fleet as it stood before them.
+                assert event["target_replicas"] > \
+                    event["fleet_size"] - len(event["replicas"])
