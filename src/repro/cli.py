@@ -51,6 +51,8 @@ QUICK_OVERRIDES = {
     "fig27": {"duration": 50.0, "warmup": 10.0},
     "fig28_autoscale": {"duration": 200.0},
     "fig29_predictive_autoscale": {"duration": 200.0},
+    "fig30_fault_recovery": {"duration": 200.0},
+    "abl_fault_chaos": {"duration": 150.0, "mttfs": (None, 60.0, 30.0)},
     "abl_wrs_degree": {"duration": 90.0, "loads": (9.0, 11.0)},
     "abl_eviction_weights": {"duration": 60.0, "grid_step": 0.5},
     "abl_gdsf": {"duration": 90.0},
@@ -145,6 +147,27 @@ def _cluster_main(argv) -> int:
                         help="workload period enabling the forecaster's "
                              "seasonal phase histogram (predict periodic "
                              "bursts before they re-arrive)")
+    parser.add_argument("--fault-schedule", metavar="SPEC",
+                        help="scripted faults, comma-separated "
+                             "TIME:KIND:REPLICA[:VALUE] entries (KIND in "
+                             "crash|degrade|recover|stall; VALUE is the "
+                             "degrade rate multiplier or the stall window), "
+                             "e.g. '110:crash:1,60:degrade:0:0.5'")
+    parser.add_argument("--mttf", type=float, default=None, metavar="SECONDS",
+                        help="mean time to failure enabling seeded random "
+                             "replica faults (exponential gaps, uniform "
+                             "serving-replica targets)")
+    parser.add_argument("--mttr", type=float, default=None, metavar="SECONDS",
+                        help="mean time to repair: random faults become "
+                             "transient outages of this mean window instead "
+                             "of crashes (needs --mttf)")
+    parser.add_argument("--no-fault-migration", action="store_true",
+                        help="strand a crashed replica's work as lost "
+                             "instead of re-dispatching it (the no-recovery "
+                             "baseline)")
+    parser.add_argument("--no-self-heal", action="store_true",
+                        help="disable autoscaler failure replacement "
+                             "(crashed replicas are not provisioned back)")
     args = parser.parse_args(argv)
     specs = None
     fleet_gpus = [A40_48GB]  # build_system's default when no specs are given
@@ -179,6 +202,23 @@ def _cluster_main(argv) -> int:
                          f"got {args.forecast_cycle}")
     elif args.autoscale_mode != "reactive":
         parser.error("--autoscale-mode predictive needs --autoscale")
+    elif args.no_self_heal:
+        parser.error("--no-self-heal needs --autoscale (static fleets "
+                     "never replace replicas)")
+    if args.mttf is not None and args.mttf <= 0:
+        parser.error(f"--mttf must be > 0, got {args.mttf}")
+    if args.mttr is not None:
+        if args.mttr <= 0:
+            parser.error(f"--mttr must be > 0, got {args.mttr}")
+        if args.mttf is None:
+            parser.error("--mttr needs --mttf (no failures to repair)")
+    fault_schedule = None
+    if args.fault_schedule:
+        from repro.faults import FaultSchedule
+        try:
+            fault_schedule = FaultSchedule.parse(args.fault_schedule)
+        except ValueError as exc:
+            parser.error(str(exc))
     replicas = args.replicas if args.replicas is not None else \
         (len(specs) if specs else
          (args.min_replicas if args.autoscale else 4))
@@ -223,6 +263,7 @@ def _cluster_main(argv) -> int:
             forecast_window=args.forecast_window,
             forecast_horizon=args.forecast_horizon,
             forecast_cycle=args.forecast_cycle,
+            self_heal=not args.no_self_heal,
         )
     cluster = MultiReplicaSystem.build(
         args.preset, n_replicas=replicas, dispatch_policy=args.policy,
@@ -230,6 +271,8 @@ def _cluster_main(argv) -> int:
         slo_policy=slo_policy, replica_specs=specs,
         normalize_capability=not args.no_capability_norm,
         autoscale=autoscale,
+        fault_schedule=fault_schedule, mttf=args.mttf, mttr=args.mttr,
+        fault_migrate=not args.no_fault_migration,
         registry=registry, seed=args.seed,
     )
     start = time.time()
@@ -277,12 +320,32 @@ def _cluster_main(argv) -> int:
               f"(goodput {extra['goodput_per_replica_second']:.3f} "
               f"req/replica-s)")
         for event in extra["scale_events"]:
-            tag = " [forecast]" if event.get("reason") == "predictive" else ""
+            tag = ""
+            if event.get("reason") == "predictive":
+                tag = " [forecast]"
+            elif event.get("reason") == "failure_replacement":
+                tag = " [self-heal]"
             print(f"    t={event['time']:7.1f}s {event['action']:<9} "
                   f"replicas {event['replicas']} -> fleet "
                   f"{event['fleet_size']} (shed_rate {event['shed_rate']:.3f} "
                   f"queue_wait {event['queue_wait']:.2f}s util "
                   f"{event['utilization']:.2f}){tag}")
+    if cluster.fault_injector is not None:
+        print(f"  faults                    "
+              f"{extra['cluster_failures']} crashes / "
+              f"{extra['cluster_stalls']} stalls / "
+              f"{cluster.fault_injector.degrades} degrades")
+        print(f"  recovery                  "
+              f"{extra['cluster_migrations']} migrations "
+              f"(max retry {extra['max_retry_count']}), "
+              f"{extra['cluster_lost']} lost, availability "
+              f"{extra['availability']:.4f}")
+        for fault in extra["fault_log"]:
+            detail = ", ".join(f"{k}={v}" for k, v in fault.items()
+                               if k not in ("time", "kind", "replica"))
+            print(f"    t={fault['time']:7.1f}s {fault['kind']:<8} "
+                  f"replica {fault['replica']}"
+                  f"{' (' + detail + ')' if detail else ''}")
     print(f"(elapsed: {time.time() - start:.1f}s)")
     return 0
 

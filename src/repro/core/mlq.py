@@ -199,6 +199,12 @@ class MlqScheduler(Scheduler):
     def queued_requests(self) -> Iterable[Request]:
         return list(itertools.chain.from_iterable(q.items for q in self.queues))
 
+    def drain(self) -> list[Request]:
+        drained = list(self.queued_requests())
+        for queue in self.queues:
+            queue.items.clear()
+        return drained
+
     def queue_len(self) -> int:
         return sum(len(q.items) for q in self.queues)
 

@@ -1,0 +1,102 @@
+"""Ablation: chaos sweep over MTTF — how failure rate degrades serving.
+
+fig30 injects one scripted crash; this ablation turns the failure rate into
+the independent variable.  A self-healing autoscaled fleet serves one
+steady trace while a seeded random failure process (exponential
+inter-failure gaps of mean MTTF, uniform serving-replica targets — the
+classic memoryless hardware-failure model) crashes replicas out from under
+it.  The fault RNG is its own named stream, so every MTTF point sees the
+*same workload* and the sweep is paired.
+
+Expected shape: availability and SLO attainment degrade gracefully as MTTF
+shrinks — each crash costs at most one detection tick plus a cold start of
+reduced capacity, and migration keeps lost requests at ~0 throughout.  The
+interesting knee is where MTTF approaches the recovery time itself
+(failures arrive faster than replacements warm), which is where every real
+serving fleet falls over too.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Row,
+    standard_registry,
+    standard_trace,
+    trace_slo,
+)
+from repro.serving.admission import SloPolicy
+from repro.serving.autoscaler import AutoscaleConfig
+from repro.serving.engine import EngineConfig
+from repro.serving.replica import MultiReplicaSystem
+
+
+def run(
+    rps: float = 16.0,
+    duration: float = 240.0,
+    warmup: float = 20.0,
+    seed: int = 1,
+    preset: str = "chameleon",
+    policy: str = "least_loaded",
+    mttfs: Sequence[Optional[float]] = (None, 120.0, 60.0, 30.0),
+    min_replicas: int = 3,
+    max_replicas: int = 6,
+    tick_interval: float = 1.0,
+    provision_delay: float = 5.0,
+    cooldown: float = 4.0,
+    max_batch_size: int = 24,
+    deadline: float = None,
+) -> ExperimentResult:
+    registry = standard_registry()
+    trace = standard_trace(rps, duration, registry, seed=seed)
+    if deadline is None:
+        deadline = trace_slo(trace, registry)
+    engine_config = EngineConfig(max_batch_size=max_batch_size)
+
+    rows = []
+    for mttf in mttfs:
+        autoscale = AutoscaleConfig(
+            min_replicas=min_replicas, max_replicas=max_replicas,
+            tick_interval=tick_interval, provision_delay=provision_delay,
+            cooldown=cooldown, sustain_ticks=1, idle_sustain_ticks=10,
+            queue_wait_threshold=deadline / 2, self_heal=True)
+        cluster = MultiReplicaSystem.build(
+            preset, n_replicas=min_replicas, dispatch_policy=policy,
+            registry=registry, seed=seed, engine_config=engine_config,
+            slo_policy=SloPolicy(ttft_deadline=deadline, mode="shed"),
+            autoscale=autoscale, mttf=mttf)
+        cluster.run_trace(trace.fresh())
+        summary = cluster.summary(warmup=warmup, duration=duration)
+        extra = summary.extra
+        faulted = cluster.fault_injector is not None
+        rows.append(Row(
+            mttf_s=mttf if mttf is not None else float("inf"),
+            crashes=extra["cluster_failures"] if faulted else 0,
+            self_heal=extra.get("self_heal_events", 0) if faulted else 0,
+            migrated=extra["cluster_migrations"] if faulted else 0,
+            lost=extra["cluster_lost"] if faulted else 0,
+            availability=extra["availability"] if faulted else 1.0,
+            shed_rate=extra["shed_rate"],
+            slo_attainment=extra["cluster_slo_attainment"],
+            p99_ttft_s=summary.p99_ttft,
+            replica_seconds=extra["replica_seconds"],
+        ))
+    return ExperimentResult(
+        experiment="abl_fault_chaos",
+        description=f"MTTF sweep under random replica crashes "
+                    f"({rps} RPS steady trace, self-healing fleet "
+                    f"[{min_replicas}, {max_replicas}])",
+        rows=rows,
+        params={"rps": rps, "duration": duration, "deadline": deadline,
+                "mttfs": list(mttfs), "min_replicas": min_replicas,
+                "max_replicas": max_replicas,
+                "provision_delay": provision_delay,
+                "max_batch_size": max_batch_size, "policy": policy,
+                "preset": preset},
+        notes=["the fault RNG is a dedicated stream: every MTTF point "
+               "replays the identical workload (paired sweep)",
+               "migration keeps lost ~0 at every MTTF; attainment degrades "
+               "gracefully until MTTF approaches the recovery time"],
+    )

@@ -8,6 +8,7 @@ from repro.experiments import (
     abl_capability_estimator,
     abl_dp_dispatch,
     abl_eviction_weights,
+    abl_fault_chaos,
     abl_gdsf,
     abl_load_stall,
     abl_slo_admission,
@@ -38,6 +39,7 @@ from repro.experiments import (
     fig27_hetero_cluster,
     fig28_autoscale,
     fig29_predictive_autoscale,
+    fig30_fault_recovery,
 )
 
 EXPERIMENTS: dict[str, Callable] = {
@@ -67,8 +69,10 @@ EXPERIMENTS: dict[str, Callable] = {
     "fig27": fig27_hetero_cluster.run,
     "fig28_autoscale": fig28_autoscale.run,
     "fig29_predictive_autoscale": fig29_predictive_autoscale.run,
+    "fig30_fault_recovery": fig30_fault_recovery.run,
     # Ablations of design choices (DESIGN.md) and of our modeling assumptions.
     "abl_capability_estimator": abl_capability_estimator.run,
+    "abl_fault_chaos": abl_fault_chaos.run,
     "abl_wrs_degree": abl_wrs_degree.run,
     "abl_eviction_weights": abl_eviction_weights.run,
     "abl_gdsf": abl_gdsf.run,

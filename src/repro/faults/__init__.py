@@ -1,0 +1,10 @@
+"""Fault model for the serving fleet: crashes, degradation, stalls."""
+
+from repro.faults.injector import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+)
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultInjector", "FaultSchedule"]

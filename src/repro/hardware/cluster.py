@@ -99,6 +99,11 @@ class DispatchStats:
     spills: int = 0            # bounded-affinity fallbacks past the bound
     shed: int = 0              # arrivals rejected by the SLO policy
     deprioritized: int = 0     # arrivals moved to the low-priority lane
+    failures: int = 0          # replica crash events (fault injection)
+    stalls: int = 0            # transient-stall fault windows opened
+    migrations: int = 0        # requests re-dispatched off a dead/draining
+    #                            replica (each re-offer counts once)
+    lost: int = 0              # requests stranded forever by a failure
     queue_delays: list = field(default_factory=list)  # seconds, queued only
 
 
@@ -149,6 +154,15 @@ class DataParallelCluster:
     the life of the run — retired replicas keep their slot, so per-replica
     accounting never shifts.  A cluster built from a static engine list has
     every handle ACTIVE from the start and behaves bit-for-bit as before.
+
+    **Faults**: :meth:`fail_replica` kills a replica (terminal FAILED state,
+    pending engine events bulk-cancelled via ``Simulator.cancel_if``) and
+    migrates its recoverable work back through this dispatch path — or
+    strands it as ``lost`` for the no-recovery baseline;
+    :meth:`stall_replica` opens a transient window during which the replica
+    accepts nothing (it keeps serving in-flight work and rejoins
+    afterwards).  Dispatch eligibility everywhere is
+    ``ReplicaHandle.accepts_work``: ACTIVE and not stalled.
 
     Policies (see also the table in :mod:`repro.serving.replica`):
 
@@ -215,6 +229,11 @@ class DataParallelCluster:
         self._queue: deque = deque()      # (request, enqueue_time) FIFO lane
         self._low_queue: deque = deque()  # deprioritized lane (SLO policy)
         self._shed: list = []             # arrivals rejected by SLO admission
+        self._lost: list = []             # stranded by replica failures
+        #: One record per migrated request re-offer: time, request id, the
+        #: replica it was evacuated from, and its retry ordinal.
+        self.migration_log: list[dict] = []
+        self._stall_until: dict[int, float] = {}  # replica -> stall deadline
         # Queue-wait estimator state (cluster-wide inter-finish EWMA).
         # Finishes sharing one timestamp (a batch completing in one engine
         # iteration) count as one drain event of that size, not as zero-
@@ -305,7 +324,7 @@ class DataParallelCluster:
         released when a replica activates.
         """
         self.stats.arrivals += 1
-        can_submit = self._has_active() and not (
+        can_submit = self._has_available() and not (
             self.backpressure and (self._queue or self._all_saturated()))
         if can_submit:
             return self._submit(request)
@@ -372,10 +391,20 @@ class DataParallelCluster:
         on every finish event)."""
         return list(self._capability)
 
+    def raw_capabilities(self) -> list:
+        """Unnormalized spec-derived capability probes, one per engine ever
+        built (the values captured at registration; arbitrary units).  The
+        predictive autoscaler uses these to size heterogeneous scale-out:
+        demonstrated throughput per capability unit times a candidate
+        spec's capability estimates what one such replica will serve."""
+        return list(self._caps_raw)
+
     def _submit(self, request) -> int:
-        # Only ACTIVE replicas are dispatch targets: provisioning/warming
-        # replicas have not joined yet, draining ones accept nothing new.
-        candidates = [h.index for h in self.handles if h.is_active]
+        # Only ACTIVE, un-stalled replicas are dispatch targets:
+        # provisioning/warming replicas have not joined yet, draining ones
+        # accept nothing new, stalled ones are mid-fault, and failed ones
+        # are gone.
+        candidates = [h.index for h in self.handles if h.accepts_work]
         if self.backpressure:
             # Never force-feed a saturated engine while another has room —
             # that is the exact failure mode the global queue exists to
@@ -432,8 +461,13 @@ class DataParallelCluster:
 
     def _release(self, entry) -> None:
         request, enqueued_at = entry
-        request.dispatch_queue_delay = self._now() - enqueued_at
-        self.stats.queue_delays.append(request.dispatch_queue_delay)
+        # Accumulate, don't overwrite: a migrated request can pass through
+        # the queue once before its replica died and again after — its
+        # delay is the total time spent waiting at the cluster.  First-pass
+        # requests start at 0.0, so fault-free runs are bit-identical.
+        delay = self._now() - enqueued_at
+        request.dispatch_queue_delay += delay
+        self.stats.queue_delays.append(delay)
         self._submit(request)
 
     def _simulator(self):
@@ -445,16 +479,17 @@ class DataParallelCluster:
         sim = self._simulator()
         return sim.now if sim is not None else 0.0
 
-    def _has_active(self) -> bool:
-        return any(handle.is_active for handle in self.handles)
+    def _has_available(self) -> bool:
+        return any(handle.accepts_work for handle in self.handles)
 
     def _all_saturated(self) -> bool:
-        """True when no ACTIVE replica can take a request right now
-        (every active engine saturated, or no active replicas at all)."""
-        active = [h for h in self.handles if h.is_active]
-        if not active:
+        """True when no dispatch-eligible replica can take a request right
+        now (every eligible engine saturated, or none at all — everything
+        still provisioning, draining out, stalled or failed)."""
+        available = [h for h in self.handles if h.accepts_work]
+        if not available:
             return True
-        return all(self._saturated(h.engine) for h in active)
+        return all(self._saturated(h.engine) for h in available)
 
     @staticmethod
     def _saturated(engine) -> bool:
@@ -501,18 +536,22 @@ class DataParallelCluster:
             self._begin_warmup(handle, warmup_delay)
         return handle
 
-    def drain_replica(self, index: int):
+    def drain_replica(self, index: int, *, migrate: bool = False):
         """Shrink the fleet: stop offering new work to replica ``index``.
 
         An ACTIVE replica transitions to DRAINING, finishes its in-flight
-        work (including its local queue) and retires on its last finish — no
-        request is lost or re-dispatched.  A replica still cold
-        (PROVISIONING/WARMING) has its pending timer cancelled and retires
-        immediately: it never served.  Idempotent on draining/retired
-        replicas.  Returns the handle.
+        work and retires on its last finish — no request is lost.  With
+        ``migrate=False`` (the default, bit-for-bit the historic behaviour)
+        that includes waiting out its local queue; with ``migrate=True`` the
+        replica's queued and admitted-but-unstarted requests are evacuated
+        and re-dispatched through the normal admission path instead, so the
+        drain completes as soon as the *started* work finishes.  A replica
+        still cold (PROVISIONING/WARMING) has its pending timer cancelled
+        and retires immediately: it never served.  Idempotent on
+        draining/retired/failed replicas.  Returns the handle.
         """
         handle = self.handles[index]
-        if handle.is_retired or handle.is_draining:
+        if handle.is_retired or handle.is_draining or handle.is_failed:
             return handle
         now = self._now()
         if not handle.is_active:
@@ -528,9 +567,124 @@ class DataParallelCluster:
         handle.begin_drain(now)
         self._log_transition(handle)
         self._recompute_weights()
+        if migrate:
+            evacuate = getattr(handle.engine, "evacuate_unstarted", None)
+            if callable(evacuate):
+                self._migrate(evacuate(), index)
         if handle.in_flight() == 0:
             self._retire(handle)
         return handle
+
+    # ------------------------------------------------------------------ #
+    # Faults: crashes, transient stalls, work migration
+    # ------------------------------------------------------------------ #
+    def fail_replica(self, index: int, *, migrate: bool = True,
+                     retry_started: bool = True):
+        """Kill replica ``index`` instantly (crash fault).
+
+        The replica transitions to the terminal FAILED state from wherever
+        it was (cold starts are cancelled, draining is cut short) and every
+        event its engine had pending in the simulator — iteration
+        completions above all — is bulk-cancelled: a dead replica finishes
+        nothing.  Its recoverable work (local queue, admitted requests
+        waiting on adapters or not yet started; with ``retry_started`` also
+        started requests, replayed from scratch) is re-dispatched through
+        the normal admission/SLO path with ``migrations``/``retry_count``
+        accounting; the rest is stranded as ``lost``.  ``migrate=False``
+        strands everything — the no-recovery baseline.  Idempotent on
+        failed/retired replicas.  Returns the handle.
+        """
+        handle = self.handles[index]
+        if handle.is_retired or handle.is_failed:
+            return handle
+        now = self._now()
+        sim = self._simulator()
+        if handle.pending_event is not None:
+            if sim is not None:
+                sim.cancel(handle.pending_event)
+            handle.pending_event = None
+        handle.fail(now)
+        self.stats.failures += 1
+        self._log_transition(handle)
+        engine = self.engines[index]
+        if sim is not None:
+            sim.cancel_if(
+                lambda event: getattr(event.callback, "__self__", None)
+                is engine)
+        failer = getattr(engine, "fail", None)
+        recoverable, lost = failer(
+            migrate=migrate, retry_started=retry_started) \
+            if callable(failer) else ([], [])
+        for request in lost:
+            request.lost = True
+        self._lost.extend(lost)
+        self.stats.lost += len(lost)
+        self._recompute_weights()
+        self._migrate(recoverable, index)
+        return handle
+
+    def stall_replica(self, index: int, duration: float):
+        """Transient stall: replica ``index`` accepts nothing for
+        ``duration`` seconds.
+
+        Models an admission-path outage (dispatcher link flap, control-plane
+        hiccup), not a crash: in-flight work keeps serving and nothing is
+        lost — the replica just leaves the dispatch set, and when the window
+        closes it rejoins and absorbs queued work immediately.  Overlapping
+        stalls extend the window to the latest deadline.  No-op on replicas
+        that are not currently serving.  Returns the handle.
+        """
+        if duration <= 0:
+            raise ValueError(f"stall duration must be > 0, got {duration}")
+        handle = self.handles[index]
+        if not handle.is_active:
+            return handle
+        sim = self._simulator()
+        if sim is None:
+            raise ValueError(
+                "transient stalls need a simulated clock: pass sim= to the "
+                "cluster or use engines exposing .sim")
+        now = self._now()
+        if not handle.stalled:
+            handle.stalled = True
+            self.stats.stalls += 1
+            self.lifecycle_log.append((now, handle.index, "stalled"))
+        self._stall_until[index] = max(
+            self._stall_until.get(index, 0.0), now + duration)
+        sim.schedule(duration, self._end_stall, handle)
+        return handle
+
+    def _end_stall(self, handle) -> None:
+        if not handle.stalled:
+            return  # already cleared (e.g. the replica failed mid-stall)
+        if self._now() < self._stall_until.get(handle.index, 0.0):
+            return  # a longer overlapping stall still holds the replica
+        handle.stalled = False
+        self.lifecycle_log.append(
+            (self._now(), handle.index, handle.state.value))
+        self._drain()  # the survivor can absorb queued work immediately
+
+    def _migrate(self, requests, from_index: int) -> None:
+        """Re-offer evacuated requests to the dispatcher, in evacuation
+        order, through the normal admission path — a migrated request can
+        route anywhere, wait in the global queue, or be shed by the SLO
+        policy like any fresh arrival (its clock never resets: TTFT still
+        counts from the original ``arrival_time``)."""
+        now = self._now()
+        for request in requests:
+            request.retry_count += 1
+            request.migrated_at.append(now)
+            self.stats.migrations += 1
+            self.migration_log.append(dict(
+                time=now, request_id=request.request_id,
+                from_replica=from_index, retry=request.retry_count))
+            self.dispatch(request)
+
+    def lost_requests(self) -> list:
+        """Requests stranded forever by replica failures (they stay in
+        their dead engine's ``all_requests`` with timelines frozen at the
+        crash; this is the cluster-level view for accounting)."""
+        return list(self._lost)
 
     def _begin_warmup(self, handle, warmup_delay: float) -> None:
         if handle.is_retired:
@@ -576,11 +730,13 @@ class DataParallelCluster:
         return sum(1 for handle in self.handles if handle.in_fleet)
 
     def holding_count(self) -> int:
-        """Replicas currently holding a GPU: everything not yet retired,
-        draining included — the count the autoscaler's ``max_replicas``
-        ceiling and peak-fleet accounting must bound, since a draining
-        replica is still being billed until its last finish."""
-        return sum(1 for handle in self.handles if not handle.is_retired)
+        """Replicas currently holding a GPU: everything not yet retired or
+        failed, draining included — the count the autoscaler's
+        ``max_replicas`` ceiling and peak-fleet accounting must bound, since
+        a draining replica is still being billed until its last finish (a
+        failed replica's GPU is gone the moment it dies)."""
+        return sum(1 for handle in self.handles
+                   if not (handle.is_retired or handle.is_failed))
 
     def replica_seconds(self, now: Optional[float] = None) -> float:
         """Total resource-time consumed by the fleet so far, in
@@ -612,9 +768,9 @@ class DataParallelCluster:
         """Pick an engine index among ``candidates`` (default: active set)."""
         n = len(self.engines)
         if candidates is None:
-            candidates = [h.index for h in self.handles if h.is_active]
+            candidates = [h.index for h in self.handles if h.accepts_work]
         if not candidates:
-            raise RuntimeError("no ACTIVE replica to dispatch to")
+            raise RuntimeError("no dispatch-eligible replica")
         if len(candidates) == 1:
             return candidates[0]
         if self.policy == "round_robin":

@@ -102,6 +102,14 @@ class AutoscaleConfig:
             pressure) or ``"predictive"`` (additionally scale out ahead of
             *forecast* demand; see the module docstring).  Scale-in is
             reactive in both modes.
+        self_heal: Replace crashed replicas (FAILED handles) as soon as the
+            next tick observes the loss, *outside* the scale-out cooldown
+            and sustain logic: failure replacement restores capacity the
+            fleet already owned, so throttling it like demand-driven
+            scale-out would stack a detection delay on top of the cold
+            start.  Replacements use ``scale_out_spec`` and respect
+            ``max_replicas``.  With no failures ever injected the knob is
+            inert, in both modes, bit for bit.
         forecast_window: Trailing seconds of arrival-rate history the
             forecaster keeps (predictive mode only).
         forecast_horizon: How far ahead the forecast targets, in seconds.
@@ -133,6 +141,7 @@ class AutoscaleConfig:
     scale_in_step: int = 1
     scale_out_spec: Any = None
     mode: str = "reactive"
+    self_heal: bool = True
     forecast_window: float = 30.0
     forecast_horizon: Optional[float] = None
     forecast_cycle: Optional[float] = None
@@ -222,6 +231,8 @@ class Autoscaler:
         #: Scale-out events triggered by the forecast rather than observed
         #: pressure (always 0 in reactive mode).
         self.predictive_scale_out_count = 0
+        #: Failure-replacement events (self-healing; always 0 fault-free).
+        self.self_heal_count = 0
         self.ticks = 0
         self.peak_fleet = 0
         #: The arrival-rate forecaster driving predictive scale-out; built
@@ -236,6 +247,7 @@ class Autoscaler:
         self._last_arrivals = 0
         self._last_shed = 0
         self._last_finishes = 0
+        self._last_migrations = 0
         self._last_out_time: Optional[float] = None
         self._last_in_time: Optional[float] = None
         self._last_eval_time: Optional[float] = None
@@ -245,6 +257,15 @@ class Autoscaler:
         #: rates spike when a batch drains in a cluster of near-simultaneous
         #: completions, and those spikes are not sustainable capacity.
         self._peak_service_rate: Optional[float] = None
+        #: The same peak, per unit of *spec capability* instead of per
+        #: replica — the unit the heterogeneous predictive target needs so
+        #: a cheap-GPU ``scale_out_spec`` is not sized by the fleet mean.
+        self._peak_rate_per_cap: Optional[float] = None
+        #: Resolved raw capability of ``scale_out_spec`` (lazy; ``None``
+        #: until computed, ``0.0`` when unresolvable).
+        self._scale_out_cap: Optional[float] = None
+        #: Crashed replicas already seen (and replaced) by self-healing.
+        self._failures_seen = 0
         self._until: Optional[float] = None
         self._tick_event = None
 
@@ -299,21 +320,40 @@ class Autoscaler:
         d_arrivals = stats.arrivals - self._last_arrivals
         d_shed = stats.shed - self._last_shed
         d_finishes = getattr(stats, "finishes", 0) - self._last_finishes
+        d_migrations = getattr(stats, "migrations", 0) - self._last_migrations
         self._last_arrivals = stats.arrivals
         self._last_shed = stats.shed
         self._last_finishes = getattr(stats, "finishes", 0)
+        self._last_migrations = getattr(stats, "migrations", 0)
         if self.forecaster is not None:
             # One rate bucket per tick.  A zero-width bucket (a tick landing
-            # on the start timestamp) carries no rate and is skipped.
+            # on the start timestamp) carries no rate and is skipped.  The
+            # forecaster sees *fresh* demand only: migration re-offers after
+            # a crash re-enter the dispatcher's arrival counter, but they
+            # are recycled work, not an arrival-rate spike to extrapolate.
             now = self.sim.now
             if self._last_eval_time is not None and now > self._last_eval_time:
-                self.forecaster.observe(self._last_eval_time, now, d_arrivals)
+                self.forecaster.observe(self._last_eval_time, now,
+                                        d_arrivals - d_migrations)
                 self._observe_throughput(d_finishes, now - self._last_eval_time)
             self._last_eval_time = now
         shed_rate = d_shed / d_arrivals if d_arrivals > 0 else 0.0
         queue_wait = self.cluster.estimated_queue_wait() \
             if self.cluster.queue_len() > 0 else 0.0
         utilization = self._utilization()
+
+        # Self-healing runs before the demand logic and outside its
+        # cooldown/sustain throttles: a crash is not a demand signal, it is
+        # capacity the fleet already owned vanishing, and every tick spent
+        # "sustaining" it is a tick of elevated shed.  Fault-free fleets
+        # never observe a FAILED handle, so this path is inert for them.
+        if cfg.self_heal:
+            failed = sum(1 for handle in self.cluster.handles
+                         if getattr(handle, "is_failed", False))
+            if failed > self._failures_seen:
+                self._heal(failed - self._failures_seen,
+                           shed_rate, queue_wait, utilization)
+                self._failures_seen = failed
 
         pressure = shed_rate > cfg.shed_rate_threshold
         if cfg.queue_wait_threshold is not None:
@@ -380,12 +420,11 @@ class Autoscaler:
         service_rate = self._per_replica_service_rate()
         if service_rate is None:
             return  # no measured capacity yet: the reactive net owns this
-        target = math.ceil(
-            forecast.lower / (service_rate * cfg.target_utilization))
         fleet = self.cluster.fleet_size()
-        if target <= fleet:
+        want = self._scale_out_deficit(forecast.lower, service_rate, fleet)
+        if want <= 0:
             return
-        added = self._provision_replicas(target - fleet)
+        added = self._provision_replicas(want)
         if not added:
             return
         self.predictive_scale_out_count += 1
@@ -398,8 +437,94 @@ class Autoscaler:
             forecast_basis=forecast.basis,
             forecast_horizon=round(horizon, 6),
             service_rate=round(service_rate, 6),
-            target_replicas=target,
+            target_replicas=fleet + want,
         )
+
+    def _scale_out_deficit(self, demand_rate: float, service_rate: float,
+                           fleet: int) -> int:
+        """Replicas to add so the fleet serves ``demand_rate`` at
+        ``target_utilization``.
+
+        Homogeneous fleets (or an unresolvable ``scale_out_spec``) use the
+        demonstrated fleet-mean per-replica capacity — the historic path,
+        bit for bit.  When ``scale_out_spec`` resolves to a capability that
+        differs from the in-fleet replicas', the target switches to
+        *per-replica* demonstrated capacity: throughput per spec-capability
+        unit (the tick-window peak, like the fleet-mean path) times each
+        replica's own capability.  Sizing a cheap-GPU scale-out by the
+        fleet mean would credit every newcomer with the big-GPU rate and
+        under-provision exactly when the capacity is needed.
+        """
+        cfg = self.config
+        out_cap = self._scale_out_capability()
+        if out_cap is not None and self._peak_rate_per_cap is not None:
+            caps = self.cluster.raw_capabilities()
+            fleet_rate = self._peak_rate_per_cap * sum(
+                caps[h.index] for h in self.cluster.handles if h.in_fleet)
+            deficit = demand_rate / cfg.target_utilization - fleet_rate
+            if deficit <= 0:
+                return 0
+            return math.ceil(deficit / (self._peak_rate_per_cap * out_cap))
+        target = math.ceil(
+            demand_rate / (service_rate * cfg.target_utilization))
+        return target - fleet
+
+    def _scale_out_capability(self) -> Optional[float]:
+        """Raw capability of one ``scale_out_spec`` replica, or ``None``
+        when the fleet-mean path applies: no spec configured, the spec
+        carries no resolvable GPU (an EngineConfig, a dict of non-GPU
+        overrides), the cluster exposes no capability probes, or the spec
+        matches every in-fleet replica's capability — the heterogeneous
+        math reduces to the mean there, so the legacy path is kept bit for
+        bit."""
+        spec = self.config.scale_out_spec
+        if spec is None:
+            return None
+        caps_fn = getattr(self.cluster, "raw_capabilities", None)
+        if not callable(caps_fn):
+            return None
+        if self._scale_out_cap is None:
+            self._scale_out_cap = _spec_capability(spec)
+        # Scale-out replicas share the fleet's build_kwargs (TP degree
+        # included) — only the GPU differs — so the fleet's uniform TP
+        # speedup applies to the newcomer too.  Without this, a TP fleet
+        # whose scale_out_spec names its own GPU would be misclassified as
+        # heterogeneous and each newcomer's rate understated by the
+        # speedup factor.
+        cap = self._scale_out_cap * self._fleet_speedup()
+        if cap <= 0:
+            return None
+        caps = caps_fn()
+        in_fleet = [caps[h.index] for h in self.cluster.handles
+                    if h.in_fleet]
+        if all(abs(c - cap) <= 1e-9 * cap for c in in_fleet):
+            return None
+        return cap
+
+    def _fleet_speedup(self) -> float:
+        """Ratio of the in-fleet engines' registered capability probes to
+        their GPUs' raw ``sqrt(tflops * bandwidth)`` — the TP compute
+        speedup baked into ``ServingEngine.capability``.  1.0 when engines
+        expose no GPU spec (test fakes), report no uplift, or disagree
+        (mixed TP degrees: no single factor applies to a newcomer)."""
+        caps = self.cluster.raw_capabilities()
+        ratios = []
+        for handle in self.cluster.handles:
+            if not handle.in_fleet:
+                continue
+            spec = getattr(getattr(handle.engine, "gpu", None), "spec", None)
+            if spec is None:
+                return 1.0
+            base = float(
+                (spec.peak_tflops * spec.mem_bandwidth_bytes) ** 0.5)
+            if base <= 0:
+                return 1.0
+            ratios.append(caps[handle.index] / base)
+        if not ratios:
+            return 1.0
+        if max(ratios) - min(ratios) > 1e-9 * max(ratios):
+            return 1.0
+        return ratios[0]
 
     def _observe_throughput(self, d_finishes: int, dt: float) -> None:
         """Track the peak per-replica fleet throughput per tick.
@@ -407,22 +532,46 @@ class Autoscaler:
         The finish counter is cluster-wide, so the denominator must count
         every replica that could have contributed during the tick: the
         active set, DRAINING replicas (still emptying), and replicas that
-        *retired within this tick* after serving (a drainer flushing its
-        last batch and retiring on its final finish).  Counting fewer
-        would credit their work to the survivors, and the peak ratchet
-        would latch that phantom per-replica capacity forever.
+        *retired or failed within this tick* after serving (a drainer
+        flushing its last batch and retiring on its final finish, a replica
+        serving half the tick before crashing).  Counting fewer would
+        credit their work to the survivors, and the peak ratchet would
+        latch that phantom per-replica capacity forever.
+
+        Alongside the per-replica peak, the same window ratchets the peak
+        throughput per unit of *spec capability* — the denominator the
+        heterogeneous predictive target needs (see
+        :meth:`_scale_out_deficit`).
         """
         tick_start = self.sim.now - dt
-        serving = sum(
-            1 for handle in self.cluster.handles
+
+        def ended_mid_tick(handle) -> bool:
+            if handle.active_at is None:
+                return False  # never served: nothing to credit
+            if handle.is_retired:
+                return handle.retired_at > tick_start
+            if getattr(handle, "is_failed", False):
+                return handle.failed_at > tick_start
+            return False
+
+        serving = [
+            handle for handle in self.cluster.handles
             if handle.is_active or handle.is_draining
-            or (handle.is_retired and handle.active_at is not None
-                and handle.retired_at > tick_start))
-        if d_finishes <= 0 or dt <= 0 or serving <= 0:
+            or ended_mid_tick(handle)]
+        if d_finishes <= 0 or dt <= 0 or not serving:
             return
-        rate = d_finishes / dt / serving
+        rate = d_finishes / dt / len(serving)
         if self._peak_service_rate is None or rate > self._peak_service_rate:
             self._peak_service_rate = rate
+        caps_fn = getattr(self.cluster, "raw_capabilities", None)
+        if callable(caps_fn):
+            caps = caps_fn()
+            cap_sum = sum(caps[handle.index] for handle in serving)
+            if cap_sum > 0:
+                per_cap = d_finishes / dt / cap_sum
+                if self._peak_rate_per_cap is None \
+                        or per_cap > self._peak_rate_per_cap:
+                    self._peak_rate_per_cap = per_cap
 
     def _per_replica_service_rate(self) -> Optional[float]:
         """Demonstrated per-replica service capacity, or ``None`` before
@@ -502,6 +651,37 @@ class Autoscaler:
         self._record("scale_out", added, shed_rate, queue_wait, utilization)
         return True
 
+    def _heal(self, count, shed_rate, queue_wait, utilization) -> None:
+        """Replace ``count`` crashed replicas (self-healing).
+
+        Deliberately bypasses ``_provision_replicas``: failure replacement
+        must not consume the scale-out cooldown (an urgent demand-driven
+        scale-out right after a crash stays legal) nor reset the pressure
+        streak (the crash does not erase the shed the controller was
+        watching).  It does reset the idle streak — the replacements are
+        cold, and an immediate scale-in would victimize exactly them.
+        Bounded by ``max_replicas`` over *held* GPUs; capacity that cannot
+        be replaced here is re-acquired by the reactive path under
+        pressure.
+        """
+        cfg = self.config
+        room = cfg.max_replicas - self.cluster.holding_count()
+        n = min(count, room)
+        if n <= 0:
+            return
+        added = []
+        for _ in range(n):
+            handle = self._provision(
+                cfg.scale_out_spec,
+                provision_delay=cfg.provision_delay,
+                warmup_delay=cfg.warmup_delay,
+            )
+            added.append(handle.index)
+        self.self_heal_count += 1
+        self._idle_ticks = 0
+        self._record("self_heal", added, shed_rate, queue_wait, utilization,
+                     reason="failure_replacement", failures=count)
+
     def _scale_in(self, shed_rate, queue_wait, utilization) -> bool:
         """Reactive scale-in; True when replicas were actually drained."""
         cfg = self.config
@@ -544,6 +724,23 @@ class Autoscaler:
             utilization=round(utilization, 6),
             **extra,
         ))
+
+
+def _spec_capability(spec) -> float:
+    """Resolve a ``scale_out_spec`` entry to the raw capability probe an
+    engine on that GPU would report (``sqrt(peak_tflops * HBM bandwidth)``,
+    TP degree 1 — the same formula as ``ServingEngine.capability``), or 0.0
+    when the entry carries no GPU information."""
+    if isinstance(spec, dict):
+        spec = spec.get("gpu")
+    if spec is None:
+        return 0.0
+    try:
+        from repro.systems import resolve_gpu  # lazy: avoid import cycle
+        gpu = resolve_gpu(spec)
+    except (ValueError, TypeError):
+        return 0.0
+    return float((gpu.peak_tflops * gpu.mem_bandwidth_bytes) ** 0.5)
 
 
 class ObservedCapabilityEstimator:

@@ -129,6 +129,11 @@ class ServingEngine:
         self._pending_stall = 0.0           # engine time owed to adapter copies
         self.all_requests: list[Request] = []
         self.batch_occupancy: list[tuple[float, int]] = []
+        self.failed = False                 # crashed by fault injection
+        #: Degrade-fault service-rate multiplier (1.0 = healthy; 0.5 = every
+        #: iteration takes twice as long).  Exactly 1.0 leaves the iteration
+        #: cost path untouched, bit for bit.
+        self._rate_multiplier = 1.0
 
         # Static reservations: base weights + activation workspace.
         self.gpu.reserve("weights", model.weight_bytes)
@@ -214,6 +219,8 @@ class ServingEngine:
     # ------------------------------------------------------------------ #
     def submit(self, request: Request) -> None:
         """Accept a request at the current simulated time."""
+        if self.failed:
+            raise RuntimeError("cannot submit to a FAILED engine")
         now = self.sim.now
         request.enqueue_time = now
         request.state = RequestState.QUEUED
@@ -305,6 +312,14 @@ class ServingEngine:
             self._pending_load.remove(request)
         else:
             raise RuntimeError(f"cannot squash request {request.request_id}: not in flight")
+        self._rollback(request)
+        request.squash_count += 1
+        request.state = RequestState.QUEUED
+        self.stats.squashes += 1
+        self.scheduler.requeue_front(request, self.sim.now)
+
+    def _rollback(self, request: Request) -> None:
+        """Release a request's resources and wipe its serving progress."""
         self.gpu.release("kv", request.kv_reserved_bytes)
         request.kv_reserved_bytes = 0
         if request.adapter_id is not None:
@@ -315,10 +330,123 @@ class ServingEngine:
         request.first_token_time = None
         request.prefill_start_time = None
         request.adapter_ready_time = None
-        request.squash_count += 1
-        request.state = RequestState.QUEUED
-        self.stats.squashes += 1
-        self.scheduler.requeue_front(request, self.sim.now)
+
+    # ------------------------------------------------------------------ #
+    # Faults: crash evacuation and degrade multipliers
+    # ------------------------------------------------------------------ #
+    def set_rate_multiplier(self, multiplier: float) -> None:
+        """Degrade (or recover) the replica's service rate.
+
+        ``multiplier`` scales throughput: 0.5 makes every iteration take
+        twice as long (thermal throttling, a noisy neighbour, a half-broken
+        NVLink).  The :class:`ObservedCapabilityEstimator` sees the slower
+        finish rate and shifts routing weight away — that convergence is the
+        contract the ``degrade`` fault relies on.
+        """
+        if multiplier <= 0:
+            raise ValueError(f"rate multiplier must be > 0, got {multiplier}")
+        self._rate_multiplier = multiplier
+
+    @property
+    def rate_multiplier(self) -> float:
+        return self._rate_multiplier
+
+    def fail(self, *, migrate: bool = True, retry_started: bool = True
+             ) -> tuple[list, list]:
+        """Crash this replica; partition its work into (recoverable, lost).
+
+        The engine stops dead: the in-flight iteration is aborted (its
+        callback is cancelled by the cluster via ``Simulator.cancel_if``)
+        and no future submission or adapter-ready event does anything.
+
+        With ``migrate=True``, work that can be replayed elsewhere is rolled
+        back to a fresh pre-submission state and *removed from this engine's
+        accounting* (the cluster re-dispatches it, so it must not be counted
+        twice): the local scheduler queue, admitted requests still waiting
+        on adapter loads, and admitted requests whose prefill never started.
+        Requests already being served (prefill begun or tokens emitted) are
+        recoverable only under ``retry_started=True`` — the client-retry
+        model, where partial progress is discarded and the request replays
+        from scratch.  With ``retry_started=False`` they are stranded:
+        marked ``lost``, kept in ``all_requests`` with their timeline frozen
+        at the crash.  ``migrate=False`` strands everything (the
+        no-recovery baseline).
+        """
+        if self.failed:
+            return [], []
+        self.failed = True
+        if self._iteration_event is not None:
+            self.sim.cancel(self._iteration_event)
+            self._iteration_event = None
+        self._pending_stall = 0.0
+        queued = self.scheduler.drain()
+        loading = list(self._pending_load)
+        self._pending_load.clear()
+        started, unstarted = [], []
+        for request in self._running:
+            if request.prefill_start_time is None and \
+                    request.tokens_generated == 0:
+                unstarted.append(request)
+            else:
+                started.append(request)
+        self._running.clear()
+        admitted = loading + unstarted + (started if retry_started else [])
+        if migrate:
+            recoverable = admitted + queued
+            lost = [] if retry_started else started
+        else:
+            recoverable = []
+            lost = loading + unstarted + started + queued
+        admitted_ids = {id(r) for r in admitted}
+        for request in recoverable:
+            if id(request) in admitted_ids:  # holds KV/adapter; queued do not
+                self._rollback(request)
+            request.state = RequestState.CREATED
+            request.enqueue_time = None
+            request.admit_time = None
+        self._forget(recoverable)
+        for request in lost:
+            request.lost = True
+        return recoverable, lost
+
+    def _forget(self, requests: list) -> None:
+        """Drop evacuated requests from this engine's accounting in one
+        pass (they are re-counted wherever they land next; a per-request
+        ``list.remove`` would scan the whole service history each time)."""
+        if not requests:
+            return
+        evacuated = {id(r) for r in requests}
+        self.all_requests = [
+            r for r in self.all_requests if id(r) not in evacuated]
+
+    def evacuate_unstarted(self) -> list:
+        """Hand back work that has not started serving (drain migration).
+
+        The local scheduler queue plus admitted requests still waiting on
+        adapter loads or on their first prefill token are rolled back to a
+        fresh pre-submission state and removed from this engine's
+        accounting; started requests stay and finish normally.  Unlike
+        :meth:`fail`, the engine remains alive — this is the voluntary
+        half of work migration, used when a draining replica should not
+        make its queued work wait out the drain.
+        """
+        queued = self.scheduler.drain()
+        loading = list(self._pending_load)
+        self._pending_load.clear()
+        unstarted = [r for r in self._running
+                     if r.prefill_start_time is None
+                     and r.tokens_generated == 0]
+        for request in unstarted:
+            self._running.remove(request)
+        for request in loading + unstarted:
+            self._rollback(request)
+        evacuated = loading + unstarted + queued
+        for request in evacuated:
+            request.state = RequestState.CREATED
+            request.enqueue_time = None
+            request.admit_time = None
+        self._forget(evacuated)
+        return evacuated
 
     # ------------------------------------------------------------------ #
     # Scheduler-visible estimates
@@ -349,10 +477,12 @@ class ServingEngine:
     # The iteration loop
     # ------------------------------------------------------------------ #
     def _kick(self) -> None:
-        if self._iteration_event is None:
+        if self._iteration_event is None and not self.failed:
             self._start_iteration()
 
     def _on_adapter_ready(self, adapter_id: int) -> None:
+        if self.failed:
+            return  # a transfer landing on a dead replica wakes nothing
         # A copy that lands while the engine is executing steals pipeline
         # time (stream synchronization); copies finishing into an idle engine
         # are free.  The debt is charged to the next iteration.
@@ -414,6 +544,8 @@ class ServingEngine:
             dt += self._pending_stall
             self.stats.stall_time += self._pending_stall
             self._pending_stall = 0.0
+        if self._rate_multiplier != 1.0:  # degrade fault: serve slower
+            dt /= self._rate_multiplier
         if n_decode:
             self._last_decode_step_time = self.cost_model.decode_step_time(
                 n_decode, ctx_tokens, total_rank, n_lora

@@ -59,6 +59,17 @@ safety net; scale-in stays reactive-only).  Draining replicas finish their
 in-flight work but accept nothing new; provisioning replicas pay a
 configurable cold-start delay before joining.  With ``autoscale=None`` (the
 default) the fleet is static and behaves bit-for-bit as before.
+
+**Fault tolerance** (:mod:`repro.faults`): replicas can crash (terminal
+``FAILED`` state; queued and unstarted work migrates back through the
+dispatcher, or is stranded as ``lost`` in the no-recovery model), degrade
+(service-rate multiplier the observed-capability estimator converges to)
+or stall (transient admission outage).  A self-healing autoscaler
+(``AutoscaleConfig(self_heal=True)``, the default) replaces crashed
+replicas outside the scale-out cooldown.  Availability, migration and
+retry accounting appear in ``summary().extra`` only when a fault injector
+is attached — fault-free configurations are byte-identical to before the
+fault subsystem existed.
 """
 
 from __future__ import annotations
@@ -90,6 +101,13 @@ class ReplicaState(enum.Enum):
     shortcuts: a replica whose cold start is cancelled by a scale-in retires
     straight from PROVISIONING/WARMING (it never served), and zero-delay
     provisioning passes through WARMING at a single timestamp.
+
+    ``FAILED`` is the second terminal state: a fault (crash injection) can
+    kill a replica from any non-terminal state — including mid-cold-start
+    and mid-drain.  Unlike RETIRED, a failure is involuntary: the replica's
+    unstarted work is migrated (or stranded as lost) rather than finished,
+    and its GPU is gone, so it stops counting against the autoscaler's
+    holding ceiling immediately.
     """
 
     PROVISIONING = "provisioning"  # resources committed, cold start running
@@ -97,15 +115,19 @@ class ReplicaState(enum.Enum):
     ACTIVE = "active"              # in the dispatch set
     DRAINING = "draining"          # finishing in-flight work, accepts nothing
     RETIRED = "retired"            # drained and removed; accounting frozen
+    FAILED = "failed"              # crashed; work migrated or lost
 
 
 #: Legal lifecycle edges (see :class:`ReplicaState`).
 _TRANSITIONS: dict[ReplicaState, tuple[ReplicaState, ...]] = {
-    ReplicaState.PROVISIONING: (ReplicaState.WARMING, ReplicaState.RETIRED),
-    ReplicaState.WARMING: (ReplicaState.ACTIVE, ReplicaState.RETIRED),
-    ReplicaState.ACTIVE: (ReplicaState.DRAINING,),
-    ReplicaState.DRAINING: (ReplicaState.RETIRED,),
+    ReplicaState.PROVISIONING: (ReplicaState.WARMING, ReplicaState.RETIRED,
+                                ReplicaState.FAILED),
+    ReplicaState.WARMING: (ReplicaState.ACTIVE, ReplicaState.RETIRED,
+                           ReplicaState.FAILED),
+    ReplicaState.ACTIVE: (ReplicaState.DRAINING, ReplicaState.FAILED),
+    ReplicaState.DRAINING: (ReplicaState.RETIRED, ReplicaState.FAILED),
     ReplicaState.RETIRED: (),
+    ReplicaState.FAILED: (),
 }
 
 
@@ -127,6 +149,10 @@ class ReplicaHandle:
     active_at: Optional[float] = None
     drain_started_at: Optional[float] = None
     retired_at: Optional[float] = None
+    failed_at: Optional[float] = None
+    #: Transient-stall fault: the replica is healthy and keeps serving its
+    #: in-flight work, but accepts no new dispatches until the window ends.
+    stalled: bool = False
     #: Pending cold-start timer (a Simulator Event), cancelled when a
     #: scale-in retires the replica before it ever activates.
     pending_event: Any = field(default=None, repr=False)
@@ -153,8 +179,18 @@ class ReplicaHandle:
         return self.state is ReplicaState.RETIRED
 
     @property
+    def is_failed(self) -> bool:
+        return self.state is ReplicaState.FAILED
+
+    @property
+    def accepts_work(self) -> bool:
+        """Dispatch eligibility: ACTIVE and not in a transient stall."""
+        return self.state is ReplicaState.ACTIVE and not self.stalled
+
+    @property
     def in_fleet(self) -> bool:
-        """Counted against the fleet-size bounds (not retired/draining)."""
+        """Counted against the fleet-size bounds (not retired/draining/
+        failed — a dead replica's capacity is gone)."""
         return self.state in (ReplicaState.PROVISIONING, ReplicaState.WARMING,
                               ReplicaState.ACTIVE)
 
@@ -186,15 +222,25 @@ class ReplicaHandle:
         self._transition(ReplicaState.RETIRED)
         self.retired_at = now
 
+    def fail(self, now: float) -> None:
+        self._transition(ReplicaState.FAILED)
+        self.failed_at = now
+        self.stalled = False
+
     # -- accounting --------------------------------------------------------
     def replica_seconds(self, now: float) -> float:
-        """Resource-time consumed: provisioning start until retirement.
+        """Resource-time consumed: provisioning start until retirement (or
+        failure — a crashed GPU stops billing the moment it dies).
 
         A provisioning replica is already holding a GPU, and a draining one
         still is — both count.  Retired replicas are frozen at
-        ``retired_at``.
+        ``retired_at``, failed ones at ``failed_at``.
         """
-        end = self.retired_at if self.retired_at is not None else now
+        end = now
+        if self.retired_at is not None:
+            end = self.retired_at
+        elif self.failed_at is not None:
+            end = self.failed_at
         return max(0.0, end - self.provisioned_at)
 
 
@@ -233,6 +279,7 @@ class MultiReplicaSystem:
     slo_policy: Optional[SloPolicy] = None
     factory: Optional[ReplicaFactory] = None
     autoscaler: Optional[Autoscaler] = None
+    fault_injector: Optional[Any] = None
 
     @classmethod
     def build(
@@ -248,6 +295,11 @@ class MultiReplicaSystem:
         normalize_capability: bool = True,
         autoscale: Optional[AutoscaleConfig] = None,
         capability_estimator="auto",
+        fault_schedule=None,
+        mttf: Optional[float] = None,
+        mttr: Optional[float] = None,
+        fault_migrate: bool = True,
+        fault_retry_started: bool = True,
         seed: int = 0,
         **build_kwargs,
     ) -> "MultiReplicaSystem":
@@ -277,6 +329,17 @@ class MultiReplicaSystem:
         (default): observed when autoscaling — newly warmed replicas need
         live weights — and spec otherwise, keeping static fleets bit-for-bit
         unchanged.
+
+        **Faults** (see :mod:`repro.faults`): ``fault_schedule`` (a
+        :class:`~repro.faults.FaultSchedule` or its CLI string syntax)
+        scripts crashes/degradations/stalls at explicit times; ``mttf``
+        adds a seeded random failure process (``mttr`` turns failures into
+        repairable outages).  ``fault_migrate``/``fault_retry_started``
+        select crash recovery: migrate a dead replica's work back through
+        the dispatcher, or strand it as lost (the no-recovery baseline).
+        The fault RNG is its own named stream (``seed`` + ``"faults"``), so
+        the fault times never perturb the workload.  With no fault
+        arguments, nothing is built and behaviour is bit-for-bit unchanged.
         """
         from repro.systems import build_system  # local import: avoid cycle
 
@@ -342,6 +405,17 @@ class MultiReplicaSystem:
             system.autoscaler = Autoscaler(
                 sim=sim, cluster=cluster, config=autoscale,
                 provision=system.provision_replica)
+        if fault_schedule is not None or mttf is not None:
+            from repro.faults import FaultInjector, FaultSchedule
+            from repro.sim.rng import RngStreams
+            if isinstance(fault_schedule, str):
+                fault_schedule = FaultSchedule.parse(fault_schedule)
+            system.fault_injector = FaultInjector(
+                cluster, sim=sim, schedule=fault_schedule,
+                mttf=mttf, mttr=mttr,
+                rng=RngStreams(seed).get("faults") if mttf is not None
+                else None,
+                migrate=fault_migrate, retry_started=fault_retry_started)
         return system
 
     @staticmethod
@@ -402,6 +476,9 @@ class MultiReplicaSystem:
             # Tick until the trace ends (or the horizon); past that, ticks
             # continue only while work is still queued or in flight.
             self.autoscaler.start(
+                until=horizon if horizon is not None else last_arrival)
+        if self.fault_injector is not None:
+            self.fault_injector.start(
                 until=horizon if horizon is not None else last_arrival)
         self.sim.run(until=horizon)
 
@@ -488,6 +565,36 @@ class MultiReplicaSystem:
                     good_completions / replica_seconds
                     if replica_seconds > 0 else 0.0),
             )
+        if self.fault_injector is not None:
+            # Fault accounting is keyed on the injector's presence, not on
+            # whether faults actually fired: a fault-free *configuration*
+            # (no injector) keeps its summary byte-identical to the
+            # pre-fault-subsystem output.
+            arrivals = [r for r in requests if r.arrival_time >= warmup]
+            lost = sum(1 for r in arrivals if r.lost)
+            stats = self.cluster.stats
+            summary.extra.update(
+                cluster_failures=stats.failures,
+                cluster_stalls=stats.stalls,
+                cluster_migrations=stats.migrations,
+                cluster_lost=stats.lost,
+                lost_rate=lost / len(arrivals) if arrivals else float("nan"),
+                # Availability as the user sees it: the fraction of offered
+                # requests not stranded by a failure (shed requests got an
+                # answer — a rejection — so they count as served here).
+                availability=(
+                    1.0 - lost / len(arrivals) if arrivals else float("nan")),
+                fault_log=list(self.fault_injector.log),
+                migration_timeline=list(self.cluster.migration_log),
+                retry_timelines={
+                    r.request_id: list(r.migrated_at)
+                    for r in requests if r.migrated_at},
+                max_retry_count=max(
+                    (r.retry_count for r in requests), default=0),
+            )
+            if self.autoscaler is not None:
+                summary.extra.update(
+                    self_heal_events=self.autoscaler.self_heal_count)
         return summary
 
     def per_replica_counts(self) -> list[int]:

@@ -43,6 +43,15 @@ class Scheduler(abc.ABC):
     def queued_requests(self) -> Iterable[Request]:
         """The requests currently waiting (order unspecified)."""
 
+    @abc.abstractmethod
+    def drain(self) -> list[Request]:
+        """Remove and return every queued request (in queue order).
+
+        Used by replica-failure evacuation: a dead replica's local queue is
+        migrated back to the cluster dispatcher, so the scheduler must give
+        the requests up rather than hold them forever.
+        """
+
     def queue_len(self) -> int:
         return sum(1 for _ in self.queued_requests())
 
@@ -84,6 +93,11 @@ class FifoScheduler(Scheduler):
 
     def queued_requests(self) -> Iterable[Request]:
         return list(self._queue)
+
+    def drain(self) -> list[Request]:
+        drained = list(self._queue)
+        self._queue.clear()
+        return drained
 
     def queue_len(self) -> int:
         return len(self._queue)
@@ -134,6 +148,11 @@ class SjfScheduler(Scheduler):
 
     def queued_requests(self) -> Iterable[Request]:
         return list(self._queue)
+
+    def drain(self) -> list[Request]:
+        drained = list(self._queue)
+        self._queue.clear()
+        return drained
 
     def queue_len(self) -> int:
         return len(self._queue)

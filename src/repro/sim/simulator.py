@@ -99,6 +99,26 @@ class Simulator:
                 if self._cancelled > len(self._heap) - self._cancelled:
                     self._compact()
 
+    def cancel_if(self, predicate: Callable[[Event], bool]) -> int:
+        """Bulk-cancel every pending event matching ``predicate``.
+
+        One pass over the heap, then a single compaction check — the
+        per-event :meth:`cancel` path would re-test the compaction threshold
+        (and potentially rebuild the heap) once per match.  Used by crash
+        handling to drop a dead replica's pending finish events: a failed
+        engine must not execute callbacks scheduled while it was alive.
+        Returns the number of events cancelled.
+        """
+        cancelled = 0
+        for event in self._heap:
+            if not event.cancelled and predicate(event):
+                event.cancelled = True
+                cancelled += 1
+        self._cancelled += cancelled
+        if self._cancelled > len(self._heap) - self._cancelled:
+            self._compact()
+        return cancelled
+
     def _compact(self) -> None:
         """Drop cancelled entries and re-heapify the survivors.
 

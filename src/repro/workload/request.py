@@ -58,6 +58,9 @@ class Request:
     dispatch_queue_delay: float = 0.0     # seconds held in the cluster queue
     shed: bool = False                    # rejected by cluster SLO admission
     deprioritized: bool = False           # moved to the cluster's low lane
+    lost: bool = False                    # stranded by a replica failure
+    retry_count: int = 0                  # times migrated off a dead replica
+    migrated_at: list = field(default_factory=list)  # migration timestamps
 
     # -- timeline stamps -------------------------------------------------#
     enqueue_time: Optional[float] = None

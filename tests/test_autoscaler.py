@@ -1,8 +1,12 @@
 """Unit tests: autoscaler control loop, observed-capability estimation, and
 the replica lifecycle end to end through MultiReplicaSystem."""
 
+import math
+
+import numpy as np
 import pytest
 
+from repro.hardware.cluster import DataParallelCluster
 from repro.serving.autoscaler import (
     Autoscaler,
     AutoscaleConfig,
@@ -490,3 +494,158 @@ def test_explicit_estimator_instance_is_used(big_registry):
         "slora", n_replicas=2, registry=big_registry,
         predictor_accuracy=None, seed=0, capability_estimator=est)
     assert cluster.cluster.capability_estimator is est
+
+
+def test_estimator_converges_after_mid_run_degradation():
+    """The contract the ``degrade`` fault relies on: a step change in a
+    replica's service rate converges the time-weighted EWMA within a
+    bounded number of finish events.
+
+    With tau=20s and finishes every 2s, each sample carries weight
+    ``1 - exp(-0.1)`` ~ 0.095, so the error to the new rate shrinks by
+    ~0.905 per event: 30 events cut a 2x rate step to well under 10%
+    residual.  If this bound regresses, degraded replicas keep their old
+    routing weight long past the fault and drag the tail.
+    """
+    est = ObservedCapabilityEstimator(tau=20.0, min_samples=1)
+    est.register(0, 1.0)
+    # Healthy phase: one finish per second (rate 1.0), long enough for the
+    # EWMA to settle on it.
+    now = 0.0
+    for _ in range(60):
+        now += 1.0
+        est.observe_finish(0, now)
+    assert est.observed_rate(0) == pytest.approx(1.0, rel=1e-6)
+    # Degradation: the replica halves its speed (finish every 2s, rate 0.5).
+    within = None
+    for event in range(1, 31):
+        now += 2.0
+        est.observe_finish(0, now)
+        if within is None and abs(est.observed_rate(0) - 0.5) <= 0.05:
+            within = event
+    assert within is not None and within <= 30, \
+        f"EWMA still {est.observed_rate(0):.3f} after 30 degraded finishes"
+    # And it keeps tracking: the estimate never undershoots the true rate.
+    assert est.observed_rate(0) >= 0.5
+
+
+# --------------------------------------------------------------------- #
+# Heterogeneous predictive target (per-replica demonstrated capacity)
+# --------------------------------------------------------------------- #
+class _CapEngine:
+    """Minimal engine with a spec capability, for target-math tests."""
+
+    def __init__(self, cap, sim):
+        self.cap = cap
+        self.sim = sim
+        self.in_flight = []
+
+    def capability(self):
+        return self.cap
+
+    def in_flight_count(self):
+        return len(self.in_flight)
+
+    def is_saturated(self):
+        return False
+
+    def on_finish(self, callback):
+        pass
+
+
+def test_predictive_target_uses_per_replica_capacity_for_hetero_spec():
+    """ROADMAP follow-up: a planned cheap-GPU scale-out must not be sized
+    by the fleet-mean demonstrated capacity.
+
+    Fleet: two big replicas (capability 4) that demonstrated 8 finishes/s
+    together (1/s per capability unit).  Demand at the horizon: 24/s at
+    target_utilization 1.0.  The legacy fleet-mean math says each replica
+    serves 4/s, targets 6 replicas, and adds 4 — but the 4 newcomers are
+    capability-1 GPUs serving 1/s each, leaving the fleet 12/s short.  The
+    per-replica path must instead add ceil((24 - 8) / 1) = 16 small
+    replicas (bounded later by max_replicas; the *target* must be honest).
+    """
+    from repro.hardware.gpu import GpuSpec
+    from repro.sim.simulator import Simulator
+
+    small_gpu = GpuSpec("unit-gpu", 1, 1.0, 1.0)  # capability sqrt(1*1) = 1
+    sim = Simulator()
+    engines = [_CapEngine(4.0, sim) for _ in range(2)]
+    cluster = DataParallelCluster(engines, policy="least_loaded", sim=sim,
+                                  rng=np.random.default_rng(0))
+    config = AutoscaleConfig(
+        min_replicas=2, max_replicas=32, tick_interval=1.0,
+        mode="predictive", target_utilization=1.0,
+        scale_out_spec=small_gpu)
+    scaler = Autoscaler(sim=sim, cluster=cluster, config=config,
+                        provision=lambda *a, **k: None)
+    scaler._observe_throughput(d_finishes=8, dt=1.0)  # 8/s over 2 big GPUs
+    assert scaler._peak_service_rate == pytest.approx(4.0)
+    assert scaler._peak_rate_per_cap == pytest.approx(1.0)
+    want = scaler._scale_out_deficit(
+        demand_rate=24.0, service_rate=scaler._peak_service_rate, fleet=2)
+    assert want == 16
+    # Sanity: the legacy fleet-mean math would have under-provisioned.
+    legacy = math.ceil(24.0 / (4.0 * 1.0)) - 2
+    assert legacy == 4 < want
+
+
+def test_predictive_target_keeps_fleet_mean_path_when_homogeneous():
+    """A scale_out_spec matching the in-fleet capability must take the
+    historic fleet-mean path bit for bit (the heterogeneous formula only
+    engages on an actual capability difference)."""
+    from repro.hardware.gpu import GpuSpec
+    from repro.sim.simulator import Simulator
+
+    same_gpu = GpuSpec("same-gpu", 1, 16.0, 1.0)  # capability sqrt(16) = 4
+    sim = Simulator()
+    engines = [_CapEngine(4.0, sim) for _ in range(2)]
+    cluster = DataParallelCluster(engines, policy="least_loaded", sim=sim,
+                                  rng=np.random.default_rng(0))
+    config = AutoscaleConfig(
+        min_replicas=2, max_replicas=32, tick_interval=1.0,
+        mode="predictive", target_utilization=1.0,
+        scale_out_spec=same_gpu)
+    scaler = Autoscaler(sim=sim, cluster=cluster, config=config,
+                        provision=lambda *a, **k: None)
+    scaler._observe_throughput(d_finishes=8, dt=1.0)
+    assert scaler._scale_out_capability() is None
+    want = scaler._scale_out_deficit(
+        demand_rate=24.0, service_rate=scaler._peak_service_rate, fleet=2)
+    assert want == math.ceil(24.0 / 4.0) - 2 == 4
+
+
+def test_hetero_scale_out_provisions_more_cheap_replicas(big_registry):
+    """End to end: same burst, same controller — an a40 scale_out_spec
+    targets at least as many replicas as an a100 spec would, because each
+    a40 demonstrably serves less."""
+    from repro.serving.admission import SloPolicy
+
+    targets = {}
+    for spec in ("a100-80gb", "a40-48gb"):
+        cluster = MultiReplicaSystem.build(
+            "slora", registry=big_registry, predictor_accuracy=None,
+            seed=5, dispatch_policy="least_loaded",
+            replica_specs=["a100-80gb", "a100-80gb"],
+            slo_policy=SloPolicy(ttft_deadline=2.0, mode="shed"),
+            engine_config=EngineConfig(max_batch_size=8),
+            autoscale=AutoscaleConfig(
+                min_replicas=2, max_replicas=12, tick_interval=1.0,
+                provision_delay=2.0, cooldown=3.0, sustain_ticks=2,
+                idle_sustain_ticks=50, queue_wait_threshold=0.5,
+                mode="predictive", forecast_window=10.0,
+                scale_out_spec=spec))
+        steady = [Request(request_id=i, arrival_time=i * 0.2,
+                          input_tokens=200, output_tokens=20)
+                  for i in range(150)]
+        burst = [Request(request_id=150 + i, arrival_time=30.0 + i * 0.02,
+                         input_tokens=200, output_tokens=20)
+                 for i in range(500)]
+        cluster.run_trace(steady + burst)
+        predictive = [e for e in cluster.autoscaler.events
+                      if e.get("reason") == "predictive"]
+        targets[spec] = max((e["target_replicas"] for e in predictive),
+                            default=None)
+    assert targets["a100-80gb"] is not None, "predictive path never fired"
+    assert targets["a40-48gb"] is not None
+    assert targets["a40-48gb"] > targets["a100-80gb"]

@@ -165,3 +165,66 @@ def test_same_seed_runs_are_byte_identical(big_registry, mode):
     assert runs[0].autoscaler.events == runs[1].autoscaler.events
     assert _summary_bytes(runs[0], duration=80.0) == \
         _summary_bytes(runs[1], duration=80.0)
+
+
+# --------------------------------------------------------------------- #
+# Fault-subsystem guard: fault-free configs stay byte-identical to PR 4
+# --------------------------------------------------------------------- #
+FAULT_KEYS = (
+    "cluster_failures", "cluster_stalls", "cluster_migrations",
+    "cluster_lost", "lost_rate", "availability", "fault_log",
+    "migration_timeline", "retry_timelines", "max_retry_count",
+    "self_heal_events",
+)
+
+
+@pytest.mark.parametrize("mode", AutoscaleConfig.MODES)
+def test_fault_free_summary_carries_no_fault_keys(big_registry, mode):
+    # The fault accounting is keyed on the injector's presence: a config
+    # without one must produce the exact pre-fault-subsystem summary keys,
+    # so fig26-29 outputs remain byte-identical to PR 4.
+    cluster = _run(big_registry, mode, _steady_then_burst, 2)
+    assert cluster.fault_injector is None
+    extra = cluster.summary(warmup=5.0, duration=80.0).extra
+    assert not any(key in extra for key in FAULT_KEYS)
+
+
+def test_self_heal_knob_is_inert_without_failures(big_registry):
+    # self_heal=True vs False differ only when a FAILED handle appears;
+    # fault-free runs must be byte-identical between them, in both modes.
+    for mode in AutoscaleConfig.MODES:
+        runs = {}
+        for heal in (True, False):
+            cluster = _build(
+                big_registry, _config(mode, self_heal=heal), 2, seed=3)
+            cluster.run_trace(_steady_then_burst())
+            runs[heal] = cluster
+        assert runs[True].autoscaler.events == runs[False].autoscaler.events
+        assert runs[True].autoscaler.self_heal_count == 0
+        assert _timeline(runs[True]) == _timeline(runs[False])
+        assert _summary_bytes(runs[True], duration=80.0) == \
+            _summary_bytes(runs[False], duration=80.0)
+
+
+def test_inert_injector_leaves_run_byte_identical(big_registry):
+    # An attached injector whose only event is a unit-multiplier degrade
+    # (rate x 1.0 — the identity) must not perturb the run: timelines,
+    # scale events and every non-fault summary metric match a plain run
+    # byte for byte.
+    plain = _run(big_registry, "predictive", _steady_then_burst, 2)
+    armed = MultiReplicaSystem.build(
+        "slora", n_replicas=2, registry=big_registry,
+        predictor_accuracy=None, seed=3,
+        engine_config=EngineConfig(max_batch_size=8),
+        autoscale=_config("predictive"),
+        fault_schedule="1:degrade:0:1.0")
+    armed.run_trace(_steady_then_burst())
+    assert _timeline(plain) == _timeline(armed)
+    assert plain.autoscaler.events == armed.autoscaler.events
+    armed_summary = dataclasses.asdict(
+        armed.summary(warmup=5.0, duration=80.0))
+    for key in FAULT_KEYS:
+        armed_summary["extra"].pop(key, None)
+    plain_summary = dataclasses.asdict(
+        plain.summary(warmup=5.0, duration=80.0))
+    assert repr(armed_summary) == repr(plain_summary)

@@ -18,6 +18,14 @@ policy, and asserts after every operation:
   itself enforces this), cold replicas cancelled by a scale-in never
   activate later, and capability weights stay normalized over the active
   set.
+
+With fault ops in the mix (crashes with/without migration, transient
+stalls) the conservation law grows a term: every arrival is submitted,
+pending, shed *or lost* — ``completed + shed + lost == submitted`` at the
+end of a drained run — dispatch never targets FAILED or stalled replicas,
+and the offer accounting closes as ``arrivals == fresh arrivals +
+migrations``.  Fault-free op sequences exercise exactly the historic
+assertions.
 """
 
 import numpy as np
@@ -40,6 +48,7 @@ class _LifecycleEngine:
         self.sim = sim
         self.submitted = []
         self.in_flight = []
+        self.finished = []
         self._callbacks = []
         self.adapter_manager = self
         # The cluster creates the handle inside add_replica (and a zero-delay
@@ -70,24 +79,44 @@ class _LifecycleEngine:
         self._callbacks.append(callback)
 
     def submit(self, request):
-        assert self.handle is not None and self.handle.is_active, \
-            f"dispatch to non-ACTIVE replica (state={self.handle.state})"
+        assert self.handle is not None and self.handle.accepts_work, \
+            f"dispatch to ineligible replica (state={self.handle.state}, " \
+            f"stalled={self.handle.stalled})"
         assert not self.is_saturated(), "submitted to a saturated engine"
         self.submitted.append(request)
         self.in_flight.append(request)
 
     def finish_one(self):
         request = self.in_flight.pop(0)
+        self.finished.append(request)
         for callback in self._callbacks:
             callback(request)
 
+    def fail(self, *, migrate=True, retry_started=True):
+        # Crash contract of the real engine, in miniature: the first half
+        # of the in-flight set counts as "started serving", the rest as
+        # recoverable; recoverable work leaves this engine's accounting.
+        half = len(self.in_flight) // 2
+        started, fresh = self.in_flight[:half], self.in_flight[half:]
+        self.in_flight = []
+        if migrate:
+            recoverable = fresh + (started if retry_started else [])
+            lost = [] if retry_started else started
+        else:
+            recoverable, lost = [], started + fresh
+        for request in recoverable:
+            self.submitted.remove(request)
+        return recoverable, lost
 
-def _ops():
+
+def _ops(faults: bool = False):
     """Random op sequences over the elastic cluster."""
+    kinds = ["arrive", "finish", "scale_out", "scale_in", "advance"]
+    if faults:
+        kinds += ["fail", "stall"]
     return st.lists(
         st.tuples(
-            st.sampled_from(["arrive", "finish", "scale_out", "scale_in",
-                             "advance"]),
+            st.sampled_from(kinds),
             st.integers(min_value=0, max_value=7),
         ),
         min_size=1, max_size=50,
@@ -125,24 +154,53 @@ def _run_lifecycle(policy, ops, capacity, slo_policy=None):
             candidates = [h for h in cluster.handles if h.in_fleet]
             if len(candidates) > 1:  # keep one replica on its way in
                 cluster.drain_replica(candidates[draw % len(candidates)].index)
-        else:  # advance: fire pending cold-start timers
+        elif kind == "fail":
+            candidates = [h for h in cluster.handles
+                          if not (h.is_retired or h.is_failed)]
+            if candidates:
+                # Crash with every recovery model the fault layer offers:
+                # full migration, no started-retry, and total no-recovery.
+                cluster.fail_replica(
+                    candidates[draw % len(candidates)].index,
+                    migrate=draw % 3 != 0,
+                    retry_started=draw % 2 == 0)
+        elif kind == "stall":
+            active = [h for h in cluster.handles if h.is_active]
+            if active:
+                cluster.stall_replica(active[draw % len(active)].index,
+                                      0.2 + 0.1 * (draw % 4))
+        else:  # advance: fire pending cold-start and stall timers
             sim.run(until=sim.now + 0.5)
 
         # --- invariants, after every operation -------------------------- #
+        # Lost requests stay in their dead engine's ``submitted`` (the
+        # all_requests analog), so the identity conservation is unchanged;
+        # the lost set is additionally flagged and engine-resident.
         in_engines = [r.request_id for e in cluster.engines for r in e.submitted]
         pending = [r.request_id for r in cluster.pending_requests()]
         shed = [r.request_id for r in cluster.shed_requests()]
+        lost = [r.request_id for r in cluster.lost_requests()]
         assert len(in_engines) == len(set(in_engines)), "duplicated dispatch"
         assert sorted(in_engines + pending + shed) == \
             [r.request_id for r in arrived], "request lost or duplicated"
+        assert all(r.lost for r in cluster.lost_requests())
+        assert set(lost) <= set(in_engines)
+        # Offer accounting: every offer (fresh arrival or migration
+        # re-offer) ends dispatched, queued or shed — exactly once.
+        assert cluster.stats.arrivals == \
+            len(arrived) + cluster.stats.migrations
         assert cluster.stats.dispatched + cluster.queue_len() \
-            + cluster.stats.shed == cluster.stats.arrivals == len(arrived)
+            + cluster.stats.shed == cluster.stats.arrivals
         for handle in cluster.handles:
             if handle.is_draining:
                 assert handle.in_flight() > 0, \
                     "idle DRAINING replica not retired"
             if handle.is_retired:
                 assert handle.retired_at is not None
+            if handle.is_failed:
+                assert handle.failed_at is not None
+                assert handle.in_flight() == 0, \
+                    "FAILED replica still holds in-flight work"
         # Weights stay normalized over the active set (mean 1.0) and every
         # non-active replica keeps the neutral weight.
         active = cluster.active_indices()
@@ -161,13 +219,20 @@ def _run_lifecycle(policy, ops, capacity, slo_policy=None):
         if not busy:
             break
         busy[0].finish_one()
-    # Every draining replica retired once empty; nothing was lost.
+    # Every draining replica retired once empty; nothing was dropped.
     for handle in cluster.handles:
         assert not handle.is_draining
     in_engines = [r.request_id for e in cluster.engines for r in e.submitted]
     pending = [r.request_id for r in cluster.pending_requests()]
     shed = [r.request_id for r in cluster.shed_requests()]
     assert sorted(in_engines + pending + shed) == \
+        [r.request_id for r in arrived]
+    # Terminal conservation with faults in play: every arrival either
+    # completed, was shed, was stranded by a crash, or is still pending
+    # (possible only when the whole fleet died under it).
+    finished = [r.request_id for e in cluster.engines for r in e.finished]
+    lost = [r.request_id for r in cluster.lost_requests()]
+    assert sorted(finished + shed + lost + pending) == \
         [r.request_id for r in arrived]
     return cluster
 
@@ -186,6 +251,29 @@ def test_lifecycle_interleavings_conserve_requests(policy, ops, capacity):
 @settings(max_examples=15, deadline=None)
 def test_lifecycle_interleavings_with_slo(mode, ops, policy, deadline):
     slo_policy = SloPolicy(ttft_deadline=deadline, mode=mode)
+    cluster = _run_lifecycle(policy, ops, capacity=1, slo_policy=slo_policy)
+    assert all(r.shed for r in cluster.shed_requests())
+
+
+@pytest.mark.parametrize("policy", DataParallelCluster.POLICIES)
+@given(ops=_ops(faults=True), capacity=st.integers(min_value=1, max_value=3))
+@settings(max_examples=25, deadline=None)
+def test_fault_interleavings_conserve_requests(policy, ops, capacity):
+    """Crashes (all three recovery models) and transient stalls woven into
+    arbitrary scale/arrival/finish interleavings: conservation now reads
+    ``completed + shed + lost (+ pending on a dead fleet) == submitted``,
+    and no dispatch ever targets a FAILED or stalled replica."""
+    _run_lifecycle(policy, ops, capacity)
+
+
+@given(ops=_ops(faults=True),
+       policy=st.sampled_from(DataParallelCluster.POLICIES),
+       deadline=st.floats(min_value=0.05, max_value=2.0))
+@settings(max_examples=15, deadline=None)
+def test_fault_interleavings_with_slo_shed(ops, policy, deadline):
+    # Migrated re-offers go through SLO admission like fresh arrivals: a
+    # re-offer past the knee is shed, and the shed set stays consistent.
+    slo_policy = SloPolicy(ttft_deadline=deadline, mode="shed")
     cluster = _run_lifecycle(policy, ops, capacity=1, slo_policy=slo_policy)
     assert all(r.shed for r in cluster.shed_requests())
 

@@ -206,3 +206,71 @@ def test_cancel_after_fire_keeps_accounting_intact():
     assert sim.pending_events == 1
     sim.cancel(live)
     assert sim.pending_events == 0
+
+
+# --------------------------------------------------------------------- #
+# Bulk cancellation (cancel_if): crash handling drops a dead replica's
+# pending events in one sweep
+# --------------------------------------------------------------------- #
+def test_cancel_if_cancels_matching_events_only():
+    sim = Simulator()
+    fired = []
+    for i in range(8):
+        sim.schedule(float(i + 1), fired.append, i)
+    cancelled = sim.cancel_if(lambda event: event.args[0] % 2 == 0)
+    assert cancelled == 4
+    sim.run()
+    assert fired == [1, 3, 5, 7]
+
+
+def test_cancel_if_skips_already_cancelled():
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+    sim.cancel(events[0])
+    assert sim.cancel_if(lambda event: True) == 3
+    assert sim.pending_events == 0
+
+
+def test_cancel_if_matches_bound_method_owner():
+    # The exact predicate crash handling uses: events whose callback is a
+    # bound method of the dead engine die with it, everything else lives.
+    class Owner:
+        def __init__(self):
+            self.fired = []
+
+        def hit(self):
+            self.fired.append(True)
+
+    sim = Simulator()
+    dead, alive = Owner(), Owner()
+    sim.schedule(1.0, dead.hit)
+    sim.schedule(2.0, alive.hit)
+    sim.schedule(3.0, dead.hit)
+    count = sim.cancel_if(
+        lambda event: getattr(event.callback, "__self__", None) is dead)
+    assert count == 2
+    sim.run()
+    assert dead.fired == [] and alive.fired == [True]
+
+
+def test_compaction_still_triggers_after_bulk_cancel():
+    """Regression: cancel_if goes through the same cancelled-event
+    accounting as cancel, so a bulk sweep that leaves cancelled entries in
+    the majority compacts the heap (and later per-event cancels keep
+    compacting) instead of bloating it."""
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert sim.cancel_if(lambda event: event.time <= 6.0) == 6
+    # Cancelled (6) outnumber live (4): compacted in place, one pass.
+    assert len(sim._heap) == 4
+    assert sim.pending_events == 4
+    assert all(not event.cancelled for event in sim._heap)
+    # The survivors still fire in order, and per-event cancellation after a
+    # bulk sweep keeps the accounting exact.
+    sim.cancel(events[6])
+    fired = []
+    sim.schedule(0.5, fired.append, 0)
+    sim.run()
+    assert fired == [0]
+    assert sim.pending_events == 0
+    assert sim.processed_events == 4  # 3 survivors + the late probe
