@@ -7,7 +7,7 @@ assigned a rank uniformly and an adapter within the rank by a power law.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Sequence
 
 from repro.adapters.adapter import LoraAdapter
 from repro.llm.model import ModelSpec

@@ -1,0 +1,94 @@
+"""Command-line front end for simlint.
+
+Invoked as ``python -m repro.analysis`` or ``python -m repro.cli lint``::
+
+    python -m repro.analysis src/repro
+    python -m repro.analysis --list-rules
+    python -m repro.analysis --select D001,D006 src/repro/sim
+
+Exit status: 0 clean, 1 violations found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.config import SimlintConfig, load_config
+from repro.analysis.engine import render_report, run_simlint
+from repro.analysis.registry import all_rule_classes
+
+
+def _default_paths() -> list[Path]:
+    # The package's own source tree: <...>/repro, whatever it is named on
+    # this checkout (src layout, installed site-packages, ...).
+    return [Path(__file__).resolve().parent.parent]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="simlint: determinism & simulation-discipline analyzer",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to analyze (default: the repro package)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)")
+    parser.add_argument(
+        "--config", type=Path, metavar="PYPROJECT",
+        help="explicit pyproject.toml carrying [tool.simlint] "
+             "(default: nearest one above the first path)")
+    parser.add_argument(
+        "--no-config", action="store_true",
+        help="ignore pyproject.toml; use built-in defaults only")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print("simlint rule catalogue:")
+        for cls in all_rule_classes():
+            print(f"  {cls.code}  {cls.name:<22} {cls.rationale}")
+        print("  D000  malformed-suppression   suppression comments need a "
+              "rule code and a '-- why' justification")
+        return 0
+
+    paths = list(args.paths) or _default_paths()
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path: {', '.join(str(p) for p in missing)}")
+
+    if args.no_config:
+        config = SimlintConfig()
+    else:
+        try:
+            config = load_config(paths[0], explicit=args.config)
+        except (FileNotFoundError, TypeError) as exc:
+            parser.error(str(exc))
+    if args.select:
+        codes = tuple(
+            code.strip() for code in args.select.split(",") if code.strip())
+        config = SimlintConfig(
+            allow=config.allow, scope=config.scope, select=codes)
+
+    try:
+        violations, files = run_simlint(paths, config)
+    except (KeyError, FileNotFoundError, SyntaxError) as exc:
+        print(f"simlint: error: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(violations, files))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""simlint configuration: path-scoped allowlists and rule scopes.
+
+Two path-keyed mechanisms, both matching against a module's
+package-relative path (``"sim/rng.py"``):
+
+* **allow** — paths where a rule is switched *off* (the sanctioned homes
+  of otherwise-forbidden constructs: ``sim/rng.py`` may touch
+  ``np.random``, ``util/wallclock.py`` may read the wall clock).
+* **scope** — paths a rule is restricted *to* (D003's unordered-iteration
+  ban only bites on simulation-path modules; experiment table formatting
+  is free to iterate however it likes).
+
+Patterns are exact paths (``"cli.py"``), directory prefixes ending in
+``/`` (``"serving/"``), or ``fnmatch`` globs (``"experiments/fig*.py"``).
+
+Defaults below encode the repo's discipline; a ``[tool.simlint]`` table in
+``pyproject.toml`` overrides per rule code::
+
+    [tool.simlint.allow]
+    D002 = ["util/wallclock.py"]
+
+    [tool.simlint.scope]
+    D003 = ["sim/", "serving/", "faults/", "hardware/"]
+"""
+
+from __future__ import annotations
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - Python 3.10
+    tomllib = None  # type: ignore[assignment]
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Mapping
+
+#: Where otherwise-forbidden constructs are sanctioned.
+DEFAULT_ALLOW: Mapping[str, tuple[str, ...]] = {
+    # The stream factory is the one place ambient numpy RNG may appear:
+    # it is what turns ambient entropy into named streams.
+    "D001": ("sim/rng.py",),
+    # The single sanctioned wall-clock door (elapsed-time reporting).
+    "D002": ("util/wallclock.py",),
+}
+
+#: Where a rule applies at all (unset = everywhere).
+DEFAULT_SCOPE: Mapping[str, tuple[str, ...]] = {
+    # Unordered iteration only corrupts determinism where it can reach
+    # event scheduling or summaries: the simulation path.
+    "D003": ("sim/", "serving/", "faults/", "hardware/"),
+}
+
+
+@dataclass(frozen=True)
+class SimlintConfig:
+    """Resolved configuration for one simlint run."""
+
+    allow: Mapping[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_ALLOW))
+    scope: Mapping[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_SCOPE))
+    #: Rule codes to run; ``None`` means the full catalogue.
+    select: tuple[str, ...] | None = None
+
+    def rule_in_scope(self, code: str, relpath: str) -> bool:
+        """True when ``code`` applies to the module at ``relpath``."""
+        patterns = self.scope.get(code)
+        if patterns is None:
+            return True
+        return any(path_matches(relpath, p) for p in patterns)
+
+    def allowed(self, code: str, relpath: str) -> bool:
+        """True when ``relpath`` is an allowlisted home for ``code``."""
+        return any(path_matches(relpath, p)
+                   for p in self.allow.get(code, ()))
+
+
+def path_matches(relpath: str, pattern: str) -> bool:
+    """Match a package-relative path against one allowlist pattern."""
+    if pattern.endswith("/"):
+        return relpath.startswith(pattern)
+    return relpath == pattern or fnmatch(relpath, pattern)
+
+
+def load_config(start: Path, explicit: Path | None = None) -> SimlintConfig:
+    """Load ``[tool.simlint]`` from ``pyproject.toml``.
+
+    ``explicit`` names a config file directly; otherwise the nearest
+    ``pyproject.toml`` at or above ``start`` is used.  Missing file or
+    missing table mean the built-in defaults.  File entries override the
+    default entry for that rule code only.
+    """
+    pyproject = explicit if explicit is not None else _find_pyproject(start)
+    if pyproject is None or not pyproject.is_file():
+        if explicit is not None:
+            raise FileNotFoundError(f"config file not found: {explicit}")
+        return SimlintConfig()
+    if tomllib is None:  # Python 3.10: no stdlib TOML parser.  The file
+        # entries mirror the built-in defaults, so falling back to them
+        # keeps behavior identical on every supported interpreter.
+        return SimlintConfig()
+    with pyproject.open("rb") as fh:
+        payload = tomllib.load(fh)
+    table = payload.get("tool", {}).get("simlint", {})
+    return SimlintConfig(
+        allow=_merged(DEFAULT_ALLOW, table.get("allow", {})),
+        scope=_merged(DEFAULT_SCOPE, table.get("scope", {})),
+    )
+
+
+def _merged(defaults: Mapping[str, tuple[str, ...]],
+            overrides: Mapping[str, object]) -> dict[str, tuple[str, ...]]:
+    merged = {code: tuple(paths) for code, paths in defaults.items()}
+    for code, paths in overrides.items():
+        if not isinstance(paths, list) or not all(
+                isinstance(p, str) for p in paths):
+            raise TypeError(
+                f"[tool.simlint] entry {code} must be a list of path "
+                f"strings, got {paths!r}")
+        merged[str(code)] = tuple(paths)
+    return merged
+
+
+def _find_pyproject(start: Path) -> Path | None:
+    probe = start.resolve()
+    if probe.is_file():
+        probe = probe.parent
+    for directory in (probe, *probe.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None

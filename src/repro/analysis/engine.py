@@ -1,0 +1,169 @@
+"""The simlint engine: walk files, run rules, apply suppressions.
+
+Pipeline: discover ``.py`` files (sorted, so reports are deterministic),
+parse each into a :class:`Module`, run every selected rule per module plus
+one project-wide :meth:`~repro.analysis.types.Rule.finalize` pass, then
+filter the raw violations through
+
+1. **per-line suppressions** — a ``simlint: ignore[D001] -- reason``
+   comment on the flagged line.  The rule code is mandatory and so is the
+   ``--`` justification: a suppression lacking either is reported (D000),
+   because an unexplained exemption is exactly the kind of silent
+   discipline leak this tool exists to catch; and
+2. **path-scoped allowlists** — config-driven sanctioned homes
+   (``sim/rng.py`` for ambient RNG, ``util/wallclock.py`` for the wall
+   clock).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.config import SimlintConfig
+from repro.analysis.registry import all_rule_classes
+from repro.analysis.types import Module, Rule, Violation
+
+#: Matches ``simlint: ignore[D001,D003] -- why`` comment markers.
+_SUPPRESSION = re.compile(
+    r"#\s*simlint:\s*ignore\[(?P<codes>[A-Za-z0-9_,\s]+)\]"
+    r"(?:\s*--\s*(?P<why>\S.*))?")
+#: A suppression attempt with no bracketed code at all.
+_BARE_SUPPRESSION = re.compile(r"#\s*simlint:\s*ignore(?!\[)")
+
+
+def iter_python_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            found.update(p for p in path.rglob("*.py")
+                         if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            found.add(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return sorted(found)
+
+
+def package_relpath(path: Path) -> str:
+    """Path relative to the nearest enclosing ``repro`` package dir.
+
+    ``src/repro/sim/rng.py`` -> ``"sim/rng.py"``.  Sources outside any
+    ``repro`` directory keep their file name, so allowlists written for
+    the package cannot accidentally match scratch files.
+    """
+    resolved = path.resolve()
+    for ancestor in resolved.parents:
+        if ancestor.name == "repro":
+            return resolved.relative_to(ancestor).as_posix()
+    return path.name
+
+
+def parse_module(path: Path) -> Module:
+    """Read and parse one source file."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return Module(
+        path=path,
+        relpath=package_relpath(path),
+        source=source,
+        tree=tree,
+        lines=tuple(source.splitlines()),
+    )
+
+
+def scan_suppressions(
+    module: Module,
+) -> tuple[dict[int, frozenset[str]], list[Violation]]:
+    """Per-line suppressed rule codes, plus D000 for malformed ones."""
+    suppressed: dict[int, frozenset[str]] = {}
+    meta: list[Violation] = []
+    for lineno, line in enumerate(module.lines, start=1):
+        match = _SUPPRESSION.search(line)
+        if match:
+            codes = frozenset(
+                code.strip() for code in match.group("codes").split(",")
+                if code.strip())
+            suppressed[lineno] = codes
+            if not match.group("why"):
+                meta.append(Violation(
+                    path=str(module.path), line=lineno,
+                    col=match.start(), code="D000",
+                    message="suppression without a justification",
+                    hint="append ' -- <why this exemption is sound>'"))
+            continue
+        bare = _BARE_SUPPRESSION.search(line)
+        if bare:
+            meta.append(Violation(
+                path=str(module.path), line=lineno,
+                col=bare.start(), code="D000",
+                message="suppression without a rule code (suppresses "
+                        "nothing)",
+                hint="name the rule: '# simlint: ignore[D00X] -- why'"))
+    return suppressed, meta
+
+
+def select_rules(config: SimlintConfig) -> list[Rule]:
+    """Instantiate the configured subset of the catalogue."""
+    classes = all_rule_classes()
+    if config.select is not None:
+        wanted = set(config.select)
+        unknown = wanted - {cls.code for cls in classes}
+        if unknown:
+            raise KeyError(
+                f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        classes = [cls for cls in classes if cls.code in wanted]
+    return [cls(config) for cls in classes]
+
+
+def run_simlint(
+    paths: Sequence[Path],
+    config: SimlintConfig | None = None,
+) -> tuple[list[Violation], int]:
+    """Analyze ``paths``; return (sorted violations, files scanned)."""
+    if config is None:
+        config = SimlintConfig()
+    files = iter_python_files(paths)
+    modules = [parse_module(path) for path in files]
+    rules = select_rules(config)
+
+    raw: list[Violation] = []
+    for module in modules:
+        for rule in rules:
+            raw.extend(rule.check(module))
+    for rule in rules:
+        raw.extend(rule.finalize(modules))
+
+    relpath_of = {str(m.path): m.relpath for m in modules}
+    suppressions: dict[str, dict[int, frozenset[str]]] = {}
+    kept: list[Violation] = []
+    for module in modules:
+        lines, meta = scan_suppressions(module)
+        suppressions[str(module.path)] = lines
+        kept.extend(meta)  # D000 is neither suppressible nor allowlistable
+
+    for violation in raw:
+        relpath = relpath_of.get(violation.path, violation.path)
+        if config.allowed(violation.code, relpath):
+            continue
+        line_codes = suppressions.get(violation.path, {}).get(
+            violation.line, frozenset())
+        if violation.code in line_codes:
+            continue
+        kept.append(violation)
+
+    return sorted(kept), len(modules)
+
+
+def render_report(violations: Iterable[Violation], files: int) -> str:
+    """Human-readable report: one line per violation plus a summary."""
+    lines = [v.render() for v in violations]
+    count = len(lines)
+    if count:
+        lines.append(f"simlint: {count} violation(s) in {files} file(s)")
+    else:
+        lines.append(f"simlint: clean ({files} file(s) scanned)")
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Typed core of simlint: violations, parsed modules, the rule interface."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, ClassVar, Iterable, Sequence
+
+if TYPE_CHECKING:  # circular at runtime: config imports nothing from here
+    from repro.analysis.config import SimlintConfig
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule hit, anchored to a source location.
+
+    Ordering is (path, line, col, code) so reports are stable regardless
+    of rule-execution order — the analyzer holds itself to the same
+    determinism bar it enforces.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str = field(compare=False)
+    hint: str = field(compare=False, default="")
+
+    def render(self) -> str:
+        """``path:line:col: CODE message  [fix: hint]`` — one line."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        if self.hint:
+            text += f"  [fix: {self.hint}]"
+        return text
+
+
+@dataclass(frozen=True)
+class Module:
+    """A parsed source file, as handed to every rule.
+
+    Attributes:
+        path: Filesystem path as discovered (used in reports).
+        relpath: Path relative to the nearest enclosing ``repro`` package
+            directory, POSIX-separated (``"sim/rng.py"``); falls back to
+            the file name for sources outside any ``repro`` package.
+            Allowlists and rule scopes match against this.
+        source: Raw text.
+        tree: The parsed AST.
+        lines: ``source`` split into physical lines (1-indexed via
+            ``lines[lineno - 1]``).
+    """
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: tuple[str, ...]
+
+
+class Rule:
+    """Base class for simlint rules.
+
+    Subclasses set the class-level metadata, register themselves with
+    :func:`repro.analysis.registry.register`, and override :meth:`check`
+    (per-module) and/or :meth:`finalize` (whole-project, e.g. cross-module
+    key-drift).  One instance lives for the whole run, so project-wide
+    rules may accumulate state in ``check`` and report in ``finalize``.
+    """
+
+    code: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    #: One-line rationale, shown by ``--list-rules`` and in the README.
+    rationale: ClassVar[str] = ""
+    #: Default fix hint attached to violations.
+    hint: ClassVar[str] = ""
+
+    def __init__(self, config: "SimlintConfig") -> None:
+        self.config = config
+
+    def check(self, module: Module) -> Iterable[Violation]:
+        """Yield violations found in one module."""
+        return ()
+
+    def finalize(self, modules: Sequence[Module]) -> Iterable[Violation]:
+        """Yield project-wide violations after every module was checked."""
+        return ()
+
+    def violation(self, module: Module, node: ast.AST, message: str,
+                  hint: str | None = None) -> Violation:
+        """Build a violation for ``node``, defaulting to the class hint."""
+        return Violation(
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+            hint=self.hint if hint is None else hint,
+        )
+
+    def in_scope(self, module: Module) -> bool:
+        """Whether this rule applies to ``module`` (path-scope config)."""
+        return self.config.rule_in_scope(self.code, module.relpath)

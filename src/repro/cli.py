@@ -22,9 +22,9 @@ from __future__ import annotations
 import argparse
 import ast
 import sys
-import time
 
 from repro.experiments.registry import get_experiment, list_experiments
+from repro.util.wallclock import Stopwatch
 
 #: Downscaled parameters applied by --quick (only where accepted).
 QUICK_OVERRIDES = {
@@ -275,7 +275,7 @@ def _cluster_main(argv) -> int:
         fault_migrate=not args.no_fault_migration,
         registry=registry, seed=args.seed,
     )
-    start = time.time()
+    watch = Stopwatch()
     cluster.run_trace(trace.fresh())
     summary = cluster.summary(warmup=args.warmup)
     extra = summary.extra
@@ -346,7 +346,7 @@ def _cluster_main(argv) -> int:
             print(f"    t={fault['time']:7.1f}s {fault['kind']:<8} "
                   f"replica {fault['replica']}"
                   f"{' (' + detail + ')' if detail else ''}")
-    print(f"(elapsed: {time.time() - start:.1f}s)")
+    print(f"(elapsed: {watch.elapsed():.1f}s)")
     return 0
 
 
@@ -355,13 +355,20 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "cluster":
         return _cluster_main(argv[1:])
+    if argv and argv[0] == "lint":
+        # Determinism-discipline analyzer (see repro.analysis): checks the
+        # package tree by default, or any paths passed after 'lint'.
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Regenerate the Chameleon paper's tables and figures.",
     )
     parser.add_argument("experiment",
                         help="experiment id (e.g. fig11), 'all', 'list', "
-                             "or 'cluster' (see 'cluster --help')")
+                             "'cluster', or 'lint' (see '<subcommand> "
+                             "--help')")
     parser.add_argument("--quick", action="store_true",
                         help="shrink durations for a fast, noisier pass")
     parser.add_argument("--param", action="append", default=[],
@@ -384,9 +391,9 @@ def main(argv=None) -> int:
         run = get_experiment(experiment_id)
         params = dict(QUICK_OVERRIDES.get(experiment_id, {})) if args.quick else {}
         params.update(dict(args.param))
-        start = time.time()
+        watch = Stopwatch()
         result = run(**params)
-        elapsed = time.time() - start
+        elapsed = watch.elapsed()
         print(result.to_table())
         if args.plot:
             from repro.viz import result_chart

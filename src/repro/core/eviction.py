@@ -19,10 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.serving.adapter_manager import AdapterEntry
+from typing import Optional
 
 #: Paper §4.2.2: profiled weighting coefficients.
 CHAMELEON_WEIGHTS = (0.45, 0.10, 0.45)

@@ -40,11 +40,59 @@ duck-typed surfaces only, keeping the dependency graph acyclic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Callable, Iterator, Optional, Protocol, Sequence
+
+import numpy as np
 
 #: Recognized fault kinds (``transient_stall`` is accepted as an alias of
 #: ``stall`` in schedules).
 FAULT_KINDS = ("crash", "degrade", "recover", "stall")
+
+
+class SimClock(Protocol):
+    """The slice of :class:`~repro.sim.simulator.Simulator` the injector uses."""
+
+    now: float
+
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> Any: ...
+
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any) -> Any: ...
+
+
+class ReplicaLike(Protocol):
+    """Lifecycle surface of a cluster replica handle."""
+
+    @property
+    def index(self) -> int: ...
+
+    @property
+    def is_active(self) -> bool: ...
+
+    @property
+    def is_draining(self) -> bool: ...
+
+    @property
+    def is_retired(self) -> bool: ...
+
+    @property
+    def is_failed(self) -> bool: ...
+
+
+class ClusterLike(Protocol):
+    """The fault surface of ``DataParallelCluster`` (duck-typed, no import)."""
+
+    @property
+    def handles(self) -> Sequence[ReplicaLike]: ...
+
+    @property
+    def engines(self) -> Sequence[object]: ...
+
+    def fail_replica(self, index: int, *, migrate: bool = ...,
+                     retry_started: bool = ...) -> Any: ...
+
+    def stall_replica(self, index: int, duration: float) -> Any: ...
 
 
 @dataclass(frozen=True)
@@ -91,7 +139,7 @@ class FaultSchedule:
     def __len__(self) -> int:
         return len(self.events)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[FaultEvent]:
         return iter(self.events)
 
     @classmethod
@@ -106,7 +154,7 @@ class FaultSchedule:
         window in seconds for ``stall`` (ignored otherwise).  Example:
         ``"110:crash:1,60:degrade:0:0.5,90:recover:0,120:stall:2:5"``.
         """
-        events = []
+        events: list[FaultEvent] = []
         for raw in text.split(","):
             entry = raw.strip()
             if not entry:
@@ -126,7 +174,7 @@ class FaultSchedule:
             kind = fields[1].strip().lower()
             if kind == "transient_stall":
                 kind = "stall"
-            kwargs = {}
+            magnitude, duration = 0.5, 5.0
             if len(fields) == 4:
                 try:
                     value = float(fields[3])
@@ -135,14 +183,14 @@ class FaultSchedule:
                         f"bad fault entry {entry!r}: VALUE must be a float"
                     ) from None
                 if kind == "degrade":
-                    kwargs["magnitude"] = value
+                    magnitude = value
                 elif kind == "stall":
-                    kwargs["duration"] = value
+                    duration = value
                 else:
                     raise ValueError(
                         f"bad fault entry {entry!r}: {kind} takes no VALUE")
             events.append(FaultEvent(time=time, kind=kind, replica=replica,
-                                     **kwargs))
+                                     magnitude=magnitude, duration=duration))
         if not events:
             raise ValueError(f"empty fault schedule {text!r}")
         return cls(events)
@@ -172,13 +220,13 @@ class FaultInjector:
 
     def __init__(
         self,
-        cluster,
+        cluster: ClusterLike,
         *,
-        sim=None,
+        sim: Optional[SimClock] = None,
         schedule: Optional[FaultSchedule] = None,
         mttf: Optional[float] = None,
         mttr: Optional[float] = None,
-        rng=None,
+        rng: Optional[np.random.Generator] = None,
         migrate: bool = True,
         retry_started: bool = True,
     ) -> None:
@@ -199,7 +247,7 @@ class FaultInjector:
         self.migrate = migrate
         self.retry_started = retry_started
         #: Every fault fired: dicts of time/kind/replica plus parameters.
-        self.log: list[dict] = []
+        self.log: list[dict[str, object]] = []
         self.crashes = 0
         self.stalls = 0
         self.degrades = 0
@@ -208,11 +256,12 @@ class FaultInjector:
         self._started = False
 
     # ------------------------------------------------------------------ #
-    def _simulator(self):
+    def _simulator(self) -> Optional[SimClock]:
         if self._sim is not None:
             return self._sim
-        sim = getattr(self.cluster, "_simulator", None)
-        return sim() if callable(sim) else None
+        accessor = getattr(self.cluster, "_simulator", None)
+        sim: Optional[SimClock] = accessor() if callable(accessor) else None
+        return sim
 
     def start(self, until: Optional[float] = None) -> None:
         """Arm the injector: schedule scripted faults, seed the random
@@ -289,7 +338,8 @@ class FaultInjector:
     # ------------------------------------------------------------------ #
     # Random failure process (MTTF/MTTR)
     # ------------------------------------------------------------------ #
-    def _schedule_random_failure(self, sim) -> None:
+    def _schedule_random_failure(self, sim: SimClock) -> None:
+        assert self.rng is not None and self.mttf is not None
         gap = float(self.rng.exponential(self.mttf))
         when = sim.now + gap
         if self._until is not None and when > self._until:
@@ -307,14 +357,16 @@ class FaultInjector:
         # uniform (fixed bit-stream consumption, unlike bounded integers'
         # rejection sampling) so the fault *times* stay aligned across
         # system variants whose fleet sizes diverge (paired comparisons).
+        assert self.rng is not None and sim is not None
         outage = self.mttr is not None
         pool = [h.index for h in self.cluster.handles
                 if h.is_active or (not outage and h.is_draining)]
         pick = self.rng.random()  # in [0, 1): floor(pick * n) < n
-        duration = float(self.rng.exponential(self.mttr)) if outage else None
+        duration = (float(self.rng.exponential(self.mttr))
+                    if self.mttr is not None else None)
         if pool:
             index = pool[int(pick * len(pool))]
-            if outage:
+            if duration is not None:
                 self._stall(index, duration)
             else:
                 self._crash(index)
@@ -328,5 +380,8 @@ class FaultInjector:
         sim = self._simulator()
         return sim.now if sim is not None else 0.0
 
-    def _log(self, time: float, kind: str, replica: int, **extra) -> None:
-        self.log.append(dict(time=time, kind=kind, replica=replica, **extra))
+    def _log(self, time: float, kind: str, replica: int,
+             **extra: object) -> None:
+        entry: dict[str, object] = dict(time=time, kind=kind, replica=replica)
+        entry.update(extra)
+        self.log.append(entry)

@@ -224,7 +224,7 @@ class DataParallelCluster:
         self.capability_estimator = capability_estimator
         self.stats = DispatchStats()
         self._sim = sim
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = rng if rng is not None else np.random.default_rng(0)  # simlint: ignore[D001] -- dispatch RNG byte stream pinned since PR 1; moving it into RngStreams would re-pair every fig26-fig30 baseline
         self._rr_next = 0
         self._queue: deque = deque()      # (request, enqueue_time) FIFO lane
         self._low_queue: deque = deque()  # deprioritized lane (SLO policy)

@@ -15,7 +15,7 @@ S-LoRA critical-path loads of up to 30 ms, consistent with this plus queueing.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.sim.simulator import Simulator

@@ -32,7 +32,7 @@ The rank-128 loading share is 25.8/144.3 = 17.9% (paper: 17.5%).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 from repro.hardware.gpu import GpuSpec
 from repro.llm.model import ModelSpec

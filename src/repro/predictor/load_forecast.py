@@ -51,7 +51,8 @@ class HistogramLoadPredictor:
         self.max_bins = max_bins
         self.history = history
         self._last_seen: dict[int, float] = {}
-        self._intervals: dict[int, deque] = defaultdict(lambda: deque(maxlen=history))
+        self._intervals: dict[int, deque[float]] = defaultdict(
+            lambda: deque(maxlen=history))
         self._use_counts: dict[int, int] = defaultdict(int)
 
     def record_use(self, adapter_id: int, now: float) -> None:
@@ -81,19 +82,19 @@ class HistogramLoadPredictor:
         at_risk = samples[samples >= elapsed]
         if at_risk.size == 0:
             return 0.0
-        hits = np.count_nonzero(at_risk <= elapsed + horizon)
-        return hits / at_risk.size
+        hits = int(np.count_nonzero(at_risk <= elapsed + horizon))
+        return hits / int(at_risk.size)
 
     def rank_candidates(
         self,
         now: float,
         horizon: float,
-        exclude: Optional[set] = None,
+        exclude: Optional[set[int]] = None,
         min_probability: float = 0.3,
     ) -> list[tuple[int, float]]:
         """Adapters likely to be used within ``horizon``, most likely first."""
         exclude = exclude or set()
-        scored = []
+        scored: list[tuple[int, float]] = []
         for adapter_id in self._last_seen:
             if adapter_id in exclude:
                 continue
@@ -186,10 +187,11 @@ class ArrivalRateForecaster:
         self.band_z = band_z
         self.cycle = cycle
         self.seasonal_bins = seasonal_bins
-        self._buckets: deque = deque()  # (start, end, count)
-        self._seasonal_time = [0.0] * seasonal_bins if cycle else None
-        self._seasonal_count = [0.0] * seasonal_bins if cycle else None
-        self._seasonal_obs = [0] * seasonal_bins if cycle else None
+        self._buckets: deque[tuple[float, float, int]] = deque()
+        # Phase histograms; only touched when ``cycle`` is set.
+        self._seasonal_time = [0.0] * seasonal_bins
+        self._seasonal_count = [0.0] * seasonal_bins
+        self._seasonal_obs = [0] * seasonal_bins
 
     # ------------------------------------------------------------------ #
     # Observation
@@ -228,6 +230,7 @@ class ArrivalRateForecaster:
         return sum(count for _, _, count in self._buckets) / span
 
     def _phase_bin(self, at_time: float) -> int:
+        assert self.cycle is not None
         bin_index = int((at_time % self.cycle) / self.cycle * self.seasonal_bins)
         return min(bin_index, self.seasonal_bins - 1)
 
@@ -272,7 +275,8 @@ class ArrivalRateForecaster:
             basis=basis,
         )
 
-    def _base_estimate(self, target_time: float, n: int) -> tuple:
+    def _base_estimate(self, target_time: float,
+                       n: int) -> tuple[float, float, str]:
         """(point estimate, band half-width, basis) before the seasonal
         overlay: windowed rate when sparse, OLS extrapolation otherwise."""
         current = self.observed_rate()

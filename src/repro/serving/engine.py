@@ -23,7 +23,7 @@ Key behaviours reproduced from the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.adapters.registry import AdapterRegistry

@@ -395,7 +395,7 @@ class MultiReplicaSystem:
             spill_factor=spill_factor,
             slo_policy=slo_policy,
             normalize_capability=normalize_capability,
-            rng=np.random.default_rng(seed),
+            rng=np.random.default_rng(seed),  # simlint: ignore[D001] -- dispatch RNG byte stream pinned since PR 1; moving it into RngStreams would re-pair every fig26-fig30 baseline
             capability_estimator=estimator,
             sim=sim,
         )

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import abc
 from collections import deque
-from typing import Iterable, Optional
+from typing import Iterable
 
 from repro.serving.admission import AdmissionContext, AdmitResult
 from repro.workload.request import Request

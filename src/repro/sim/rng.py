@@ -6,11 +6,33 @@ stream derived from one master seed.  This way, changing e.g. the predictor
 accuracy does not perturb the arrival process, which keeps A/B comparisons
 between system variants paired — the same trick the paper gets for free by
 replaying one recorded trace against every system.
+
+The set of stream names used on the simulation path is closed: every
+``RngStreams.get()`` / ``spawn()`` call site must use a string literal
+registered in :data:`STREAM_REGISTRY`, which makes the full set of
+stochastic inputs statically enumerable (and lets ``simlint`` rule D006
+verify it — see :mod:`repro.analysis`).  Registration is a *static*
+contract only: ``get()`` itself stays permissive so tests and notebooks can
+mint scratch streams freely.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+#: Registry of every named stream drawn on the simulation path, with the
+#: component that owns it.  Adding a stochastic component means adding a
+#: row here — simlint rule D006 rejects ``get()``/``spawn()`` calls whose
+#: literal is missing, so this table cannot silently go stale.
+#: ``spawn()`` prefixes (e.g. ``"engine0"``) derive per-replica families
+#: of these same names and are registered as spawn scopes.
+STREAM_REGISTRY: dict[str, str] = {
+    "trace": "workload generation: arrival times, lengths, adapter picks",
+    "arrivals": "arrival process when sampled separately from the trace",
+    "predictor": "output-length predictor hit/miss and error draws",
+    "faults": "fault injector: MTTF gaps, target picks, repair windows",
+    "engine0": "spawn scope: per-replica stream family for replica 0",
+}
 
 
 class RngStreams:
@@ -26,27 +48,29 @@ class RngStreams:
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
+        #: Namespace prepended to every stream name (set by :meth:`spawn`;
+        #: ``""`` for a root family).  A plain attribute — spawned children
+        #: pickle and type-check like any other instance.
+        self._prefix: str = ""
         self._cache: dict[str, np.random.Generator] = {}
 
     def get(self, name: str) -> np.random.Generator:
         """Return the generator for ``name`` (created and cached on first use)."""
-        if name not in self._cache:
+        full_name = self._prefix + name
+        if full_name not in self._cache:
             # Hash the stream name into spawn-key material so that streams are
             # independent of the order in which they are requested.
-            digest = np.frombuffer(name.encode("utf-8"), dtype=np.uint8)
+            digest = np.frombuffer(full_name.encode("utf-8"), dtype=np.uint8)
             seq = np.random.SeedSequence([self.seed, *digest.tolist()])
-            self._cache[name] = np.random.default_rng(seq)
-        return self._cache[name]
+            self._cache[full_name] = np.random.default_rng(seq)
+        return self._cache[full_name]
 
     def spawn(self, name: str) -> "RngStreams":
-        """Derive a child family of streams, e.g. one per data-parallel engine."""
+        """Derive a child family of streams, e.g. one per data-parallel engine.
+
+        Implemented via name prefixing (``child.get("trace")`` draws the
+        parent's ``"name/trace"`` stream) to stay order-independent.
+        """
         child = RngStreams(self.seed)
-        child._prefix = name  # type: ignore[attr-defined]
-        # Implemented via name prefixing to stay order-independent.
-        parent_get = child.get
-
-        def prefixed_get(stream_name: str) -> np.random.Generator:
-            return parent_get(f"{name}/{stream_name}")
-
-        child.get = prefixed_get  # type: ignore[method-assign]
+        child._prefix = f"{self._prefix}{name}/"
         return child

@@ -23,7 +23,8 @@ class Event:
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled", "popped")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any],
+                 args: tuple[Any, ...]) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback

@@ -24,7 +24,7 @@ chameleon_outputonly   MLQ, WRS = output only      Chameleon cache
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.adapters.registry import AdapterRegistry

@@ -1,0 +1,5 @@
+"""Small shared utilities that sit outside the simulation path."""
+
+from repro.util.wallclock import Stopwatch, wall_now
+
+__all__ = ["Stopwatch", "wall_now"]

@@ -11,7 +11,7 @@ the published shape parameters scaled with the same procedure the paper uses
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 import numpy as np

@@ -1,0 +1,13 @@
+"""Fixture: ambient RNG outside the stream factory (D001 true positives)."""
+
+import random
+
+import numpy as np
+
+
+def roll() -> float:
+    return random.random()
+
+
+def make_gen():
+    return np.random.default_rng(0)

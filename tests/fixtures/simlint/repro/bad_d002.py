@@ -1,0 +1,7 @@
+"""Fixture: wall-clock read on the simulation path (D002 true positive)."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -1,0 +1,10 @@
+"""Fixture: mutable default arguments (D004 true positives)."""
+
+
+def enqueue(item, queue=[]):
+    queue.append(item)
+    return queue
+
+
+def tally(counts={}):
+    return counts

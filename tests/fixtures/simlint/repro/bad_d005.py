@@ -1,0 +1,11 @@
+"""Fixture: id()-based ordering (D005 true positives)."""
+
+
+def stable_order(handles):
+    return sorted(handles, key=id)
+
+
+def pick(a, b):
+    if id(a) < id(b):
+        return a
+    return b

@@ -1,0 +1,12 @@
+"""Fixture: unregistered / non-literal stream names (D006 true positives)."""
+
+from repro.sim.rng import RngStreams
+
+streams = RngStreams(0)
+
+
+def draw(name: str) -> float:
+    good = streams.get("trace")  # registered: not flagged
+    unregistered = streams.get("not-a-registered-stream")
+    dynamic = streams.get(name)
+    return good.random() + unregistered.random() + dynamic.random()

@@ -1,0 +1,21 @@
+"""Fixture: a disciplined module — every rule's true-negative forms."""
+
+from repro.sim.rng import RngStreams
+
+
+def sample(streams: RngStreams) -> float:
+    gen = streams.get("trace")
+    return float(gen.normal())
+
+
+def ordered(pending: set) -> list:
+    return sorted(pending)
+
+
+def lowest(pending: set) -> int:
+    return min(pending)
+
+
+def scoped(value) -> int:
+    result: int = value  # type: ignore[assignment]
+    return result

@@ -1,0 +1,8 @@
+"""Fixture: the reader half — one drifted key among live ones (D007)."""
+
+
+def consume(summary):
+    a = summary.extra["alpha_rate"]
+    b = summary.extra.get("beta_count", 0)
+    ghost = summary.extra["never_written_key"]
+    return a, b, ghost

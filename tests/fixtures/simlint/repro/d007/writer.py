@@ -1,0 +1,7 @@
+"""Fixture: the writer half of the summary().extra contract (D007)."""
+
+
+def summarize(summary):
+    summary.extra.update(alpha_rate=1.0)
+    summary.extra["beta_count"] = 2
+    return summary

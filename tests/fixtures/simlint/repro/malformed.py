@@ -1,0 +1,11 @@
+"""Fixture: malformed suppressions are themselves violations (D000)."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # simlint: ignore[D002]
+
+
+def stamp_again() -> float:
+    return time.time()  # simlint: ignore

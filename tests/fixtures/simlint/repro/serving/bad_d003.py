@@ -1,0 +1,12 @@
+"""Fixture: unordered iteration on the simulation path (D003, in scope)."""
+
+
+def drain(pending: set) -> list:
+    out = []
+    for item in {1, 2, 3}:
+        out.append(item)
+    out.append(next(iter(pending)))
+    out.extend(list(pending))
+    state = {"a": 1}
+    out.append(state.popitem())
+    return out

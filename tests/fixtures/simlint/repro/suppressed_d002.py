@@ -1,0 +1,7 @@
+"""Fixture: a justified per-line suppression silences the violation."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # simlint: ignore[D002] -- fixture: exercises the suppression path

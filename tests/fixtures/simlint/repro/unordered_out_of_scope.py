@@ -1,0 +1,12 @@
+"""Fixture: identical constructs OUTSIDE the D003 scope (reporting layer)."""
+
+
+def drain(pending: set) -> list:
+    out = []
+    for item in {1, 2, 3}:
+        out.append(item)
+    out.append(next(iter(pending)))
+    out.extend(list(pending))
+    state = {"a": 1}
+    out.append(state.popitem())
+    return out

@@ -4,7 +4,7 @@ import pytest
 
 from repro.adapters.registry import AdapterRegistry
 from repro.core.cache import CachePrefetcher, ChameleonCacheManager
-from repro.core.eviction import ChameleonScorePolicy, LruPolicy
+from repro.core.eviction import LruPolicy
 from repro.hardware.gpu import A40_48GB, GB, GpuDevice
 from repro.hardware.pcie import PcieLink, PcieSpec
 from repro.llm.model import LLAMA_7B

@@ -2,12 +2,11 @@
 degraded links, tensor-parallel runs, and end-to-end hypothesis invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.adapters.registry import AdapterRegistry
-from repro.hardware.gpu import A100_80GB, GB, GpuSpec
+from repro.hardware.gpu import A100_80GB, GB
 from repro.hardware.pcie import PcieSpec
 from repro.llm.model import LLAMA_7B
 from repro.serving.engine import EngineConfig

@@ -2,10 +2,8 @@
 
 import pytest
 
-from repro.metrics.summary import summarize_run
 from repro.systems import build_system
 from repro.workload.trace import SPLITWISE_PROFILE, synthesize_trace
-from repro.sim.rng import RngStreams
 
 
 def _run(preset, trace, registry, **kwargs):

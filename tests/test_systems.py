@@ -17,7 +17,6 @@ from repro.serving.adapter_manager import SloraAdapterManager
 from repro.serving.schedulers import FifoScheduler, SjfScheduler
 from repro.systems import PRESETS, build_system
 from repro.workload.trace import SPLITWISE_PROFILE, synthesize_trace
-from repro.sim.rng import RngStreams
 
 
 @pytest.mark.parametrize("preset", PRESETS)
