@@ -1,0 +1,167 @@
+"""Hot-path throughput benchmark: the simulator's events/sec trajectory.
+
+Drives the full dispatch -> engine -> finish -> drain pipeline with a large
+light-request trace (tiny prefill/decode so per-event bookkeeping, not the
+cost model, dominates) over a wide data-parallel fleet — the configuration
+where per-probe linear work in the cluster layer hurts most.  Reports
+events/sec, wall-clock, and peak RSS; optionally times the headline figure
+experiments in ``--quick`` mode and emits everything as JSON.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_hotpath.py                 # full (1M requests)
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke         # CI-sized run
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke --check-min 15000
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --json BENCH_hotpath.json \
+        --baseline /tmp/bench_baseline.json --figs
+
+``--check-min`` exits non-zero when events/sec lands below the pinned
+threshold — the CI perf gate.  ``--baseline`` embeds a previous ``--json``
+output (e.g. measured on the pre-optimization tree with this same harness)
+and records the speedup against it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.serving.replica import MultiReplicaSystem
+from repro.workload.request import Request
+
+#: Headline figures timed by --figs (quick mode, one subprocess each).
+HEADLINE_FIGS = (
+    "fig26",
+    "fig27",
+    "fig28_autoscale",
+    "fig29_predictive_autoscale",
+    "fig30_fault_recovery",
+)
+
+#: CI smoke gate: optimized runs clear this with wide margin even on slow
+#: shared runners; the pre-optimization hot path cannot reach it.
+SMOKE_MIN_EVENTS_PER_SEC = 15_000.0
+
+
+def build_trace(n_requests: int, rps: float, seed: int = 7) -> list:
+    """A light Poisson trace: 32-token prefill, 4-token decode, no adapters."""
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(1.0 / rps, size=n_requests))
+    return [
+        Request(request_id=i, arrival_time=float(arrivals[i]),
+                input_tokens=32, output_tokens=4)
+        for i in range(n_requests)
+    ]
+
+
+def run_hotpath(n_requests: int, rps: float, n_replicas: int) -> dict:
+    requests = build_trace(n_requests, rps)
+    system = MultiReplicaSystem.build(
+        "slora", n_replicas=n_replicas, dispatch_policy="least_loaded",
+        predictor_accuracy=None, seed=0,
+    )
+    start = time.perf_counter()
+    system.run_trace(requests)
+    elapsed = time.perf_counter() - start
+    events = system.sim.processed_events
+    finished = sum(1 for r in requests if r.finished)
+    if finished != n_requests:
+        raise RuntimeError(
+            f"bench trace did not complete: {finished}/{n_requests} finished")
+    # ru_maxrss is KiB on Linux.
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    return {
+        "n_requests": n_requests,
+        "rps": rps,
+        "n_replicas": n_replicas,
+        "events": events,
+        "elapsed_s": round(elapsed, 3),
+        "events_per_sec": round(events / elapsed, 1),
+        "peak_rss_mb": round(peak_rss_mb, 1),
+    }
+
+
+def time_headline_figs() -> dict:
+    """Wall-clock of each headline figure experiment in --quick mode."""
+    timings = {}
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    for exp in HEADLINE_FIGS:
+        start = time.perf_counter()
+        subprocess.run(
+            [sys.executable, "-m", "repro.cli", exp, "--quick"],
+            check=True, env=env, stdout=subprocess.DEVNULL,
+        )
+        timings[exp] = round(time.perf_counter() - start, 2)
+    return timings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=1_000_000)
+    parser.add_argument("--rps", type=float, default=16_000.0)
+    parser.add_argument("--replicas", type=int, default=64)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (100k requests)")
+    parser.add_argument("--check-min", type=float, default=None, metavar="EV_S",
+                        help="exit non-zero below this events/sec")
+    parser.add_argument("--figs", action="store_true",
+                        help="also time the headline figures in --quick mode")
+    parser.add_argument("--baseline", type=str, default=None,
+                        help="previous --json output to compute speedup against")
+    parser.add_argument("--json", type=str, default=None, metavar="PATH",
+                        help="write the result record to PATH")
+    args = parser.parse_args()
+
+    n = 100_000 if args.smoke else args.requests
+    result = {"hotpath": run_hotpath(n, args.rps, args.replicas)}
+    hp = result["hotpath"]
+    print(f"hotpath: {hp['n_requests']:,} requests over {hp['n_replicas']} "
+          f"replicas -> {hp['events']:,} events in {hp['elapsed_s']}s "
+          f"= {hp['events_per_sec']:,.0f} events/s "
+          f"(peak RSS {hp['peak_rss_mb']:.0f} MB)")
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            base = json.load(fh)["hotpath"]
+        result["baseline"] = base
+        result["speedup"] = round(
+            hp["events_per_sec"] / base["events_per_sec"], 2)
+        print(f"baseline: {base['events_per_sec']:,.0f} events/s "
+              f"-> speedup {result['speedup']}x")
+
+    if args.figs:
+        result["headline_fig_quick_wall_s"] = time_headline_figs()
+        for exp, secs in result["headline_fig_quick_wall_s"].items():
+            print(f"{exp} --quick: {secs}s")
+
+    result["ci_gate"] = {
+        "smoke_requests": 100_000,
+        "min_events_per_sec": SMOKE_MIN_EVENTS_PER_SEC,
+    }
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+    threshold = args.check_min
+    if threshold is not None and hp["events_per_sec"] < threshold:
+        print(f"FAIL: {hp['events_per_sec']:,.0f} events/s is below the "
+              f"pinned minimum {threshold:,.0f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

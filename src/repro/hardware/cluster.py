@@ -224,6 +224,7 @@ class DataParallelCluster:
         self.capability_estimator = capability_estimator
         self.stats = DispatchStats()
         self._sim = sim
+        self._sim_memo = None  # resolved clock, cached on first use
         self._rng = rng if rng is not None else np.random.default_rng(0)  # simlint: ignore[D001] -- dispatch RNG byte stream pinned since PR 1; moving it into RngStreams would re-pair every fig26-fig30 baseline
         self._rr_next = 0
         self._queue: deque = deque()      # (request, enqueue_time) FIFO lane
@@ -256,6 +257,34 @@ class DataParallelCluster:
         self.lifecycle_log: list[tuple] = [
             (now, handle.index, handle.state.value) for handle in self.handles
         ]
+        # Incremental load bookkeeping: every dispatch probe used to walk the
+        # engine's running + queued sets (in_flight_count), and the
+        # saturation sweep repeated that per replica per drain step —
+        # O(fleet x batch) work per arrival that dominated the hot path.
+        # Instead, for engines whose probes we can prove are pure counters
+        # (an unmodified ServingEngine), maintain the in-flight count here:
+        # +1 on submit, -1 on finish, resynced from the engine on the rare
+        # bulk moves (crash evacuation, drain migration).  Engines with
+        # custom probe overrides (test fakes, experimental engines) keep the
+        # live-probe path, bit-for-bit.
+        self._inflight: list[int] = []
+        self._fast: list[bool] = []
+        self._batch_cap: list[float] = []
+        self._is_eligible: list[bool] = []
+        self._all_fast: bool = True  # every engine on the cached fast path
+        self._uniform_batch_cap: bool = True  # one shared max_batch_size
+        for engine in self.engines:
+            self._track_engine(engine)
+        # Dispatch-eligibility cache: lifecycle and stall transitions are
+        # rare, so the `accepts_work` sweep is recomputed only then.  The
+        # saturation caches make `_all_saturated` O(1) on a stock fleet:
+        # `_n_fast_unsat` counts eligible fast engines with headroom and is
+        # maintained incrementally on submit/finish; `_slow_eligible` lists
+        # the eligible engines that still need a live probe (test fakes).
+        self._eligible: list[int] = []
+        self._slow_eligible: list[int] = []
+        self._n_fast_unsat: int = 0
+        self._refresh_eligible()
         # Per-engine capability weights, normalized to mean 1.0 over the
         # active set.  Identical capabilities (or none reported) keep every
         # weight at exactly 1.0 so homogeneous clusters behave bit-for-bit
@@ -283,6 +312,70 @@ class DataParallelCluster:
         if callable(register):
             register(lambda request, _h=handle: self._on_engine_finish(_h, request))
 
+    # ------------------------------------------------------------------ #
+    # Incremental load bookkeeping (hot-path caches)
+    # ------------------------------------------------------------------ #
+    def _track_engine(self, engine) -> None:
+        """Append load-cache slots for a (new) engine.
+
+        The cached-count fast path is only safe when the engine's load and
+        saturation probes are the stock ``ServingEngine`` counters — a
+        subclass or test fake overriding either gets live probes instead.
+        Lazy import: the hardware layer must not import the serving package
+        at module load (cycle).
+        """
+        from repro.serving.engine import ServingEngine
+        fast = (
+            isinstance(engine, ServingEngine)
+            and type(engine).in_flight_count is ServingEngine.in_flight_count
+            and type(engine).is_saturated is ServingEngine.is_saturated
+        )
+        self._fast.append(fast)
+        self._inflight.append(engine.in_flight_count() if fast else 0)
+        self._batch_cap.append(
+            float(engine.config.max_batch_size) if fast else float("inf"))
+        # Not dispatch-eligible until the next lifecycle refresh.
+        self._is_eligible.append(False)
+        self._all_fast = fast and self._all_fast
+        self._uniform_batch_cap = min(self._batch_cap) == max(self._batch_cap)
+
+    def _refresh_eligible(self) -> None:
+        """Recompute the dispatch-eligibility caches (same order as the
+        ``accepts_work`` sweep they replace: ascending replica index)."""
+        self._eligible = [h.index for h in self.handles if h.accepts_work]
+        self._is_eligible = [False] * len(self.engines)
+        self._slow_eligible = []
+        n_unsat = 0
+        for idx in self._eligible:
+            self._is_eligible[idx] = True
+            if self._fast[idx]:
+                if self._inflight[idx] < self._batch_cap[idx]:
+                    n_unsat += 1
+            else:
+                self._slow_eligible.append(idx)
+        self._n_fast_unsat = n_unsat
+
+    def _count(self, idx: int) -> int:
+        """In-flight request count of engine ``idx`` (cached when safe;
+        0 for engines without a probe, like ``ReplicaHandle.in_flight``)."""
+        if self._fast[idx]:
+            return self._inflight[idx]
+        probe = getattr(self.engines[idx], "in_flight_count", None)
+        return probe() if callable(probe) else 0
+
+    def _saturated_at(self, idx: int) -> bool:
+        """Saturation probe of engine ``idx`` (cached when safe)."""
+        if self._fast[idx]:
+            return self._inflight[idx] >= self._batch_cap[idx]
+        return self._saturated(self.engines[idx])
+
+    def _resync_load(self, idx: int) -> None:
+        """Re-read engine ``idx``'s true in-flight count after a bulk move
+        (crash evacuation, drain migration) that bypassed submit/finish."""
+        if self._fast[idx]:
+            self._inflight[idx] = self.engines[idx].in_flight_count()
+            self._refresh_eligible()  # the saturation count may have moved
+
     def _recompute_weights(self) -> None:
         """Refresh per-engine capability weights over the *active* set.
 
@@ -294,6 +387,7 @@ class DataParallelCluster:
         """
         active = [h.index for h in self.handles if h.is_active]
         self._capability = [1.0] * len(self.engines)
+        self._uniform_caps = True  # routing may skip the division entirely
         if not active or not self.normalize_capability:
             return
         if self.capability_estimator is not None:
@@ -306,6 +400,7 @@ class DataParallelCluster:
         mean_cap = sum(caps) / len(caps)
         for index, cap in zip(active, caps):
             self._capability[index] = cap / mean_cap
+        self._uniform_caps = False
 
     # ------------------------------------------------------------------ #
     # Dispatch path
@@ -404,24 +499,49 @@ class DataParallelCluster:
         # provisioning/warming replicas have not joined yet, draining ones
         # accept nothing new, stalled ones are mid-fault, and failed ones
         # are gone.
-        candidates = [h.index for h in self.handles if h.accepts_work]
+        candidates = self._eligible
         if self.backpressure:
             # Never force-feed a saturated engine while another has room —
             # that is the exact failure mode the global queue exists to
             # prevent (matters for routing policies that don't follow load).
-            unsaturated = [
-                i for i in candidates if not self._saturated(self.engines[i])
-            ]
-            if unsaturated:
-                candidates = unsaturated
+            # Skip the filter when the caches prove every candidate has
+            # headroom (the common case on an unloaded stock fleet), or when
+            # it provably cannot change the pick: JSQ over a homogeneous
+            # fleet (shared batch cap, uniform capability) lands on an
+            # unsaturated engine by itself whenever one exists — the minimum
+            # count is below the shared cap.
+            if (self.policy == "least_loaded" and self._all_fast
+                    and self._uniform_batch_cap and self._uniform_caps):
+                pass
+            elif self._n_fast_unsat != len(candidates) or self._slow_eligible:
+                if self._all_fast:
+                    inflight, cap = self._inflight, self._batch_cap
+                    unsaturated = [
+                        i for i in candidates if inflight[i] < cap[i]
+                    ]
+                else:
+                    unsaturated = [
+                        i for i in candidates if not self._saturated_at(i)
+                    ]
+                if unsaturated:
+                    candidates = unsaturated
         idx = self._pick(request, candidates)
         self.engines[idx].submit(request)
+        self._inflight[idx] += 1
+        if (self._fast[idx] and self._is_eligible[idx]
+                and self._inflight[idx] == self._batch_cap[idx]):
+            self._n_fast_unsat -= 1  # just became saturated
         self.stats.dispatched += 1
         return idx
 
     def _on_engine_finish(self, handle, request) -> None:
         now = self._now()
         self.stats.finishes += 1
+        idx = handle.index
+        self._inflight[idx] -= 1
+        if (self._fast[idx] and self._is_eligible[idx]
+                and self._inflight[idx] == self._batch_cap[idx] - 1):
+            self._n_fast_unsat += 1  # just regained headroom
         if self._last_finish_time is None:
             self._last_finish_time = now
             self._finish_batch = 1
@@ -445,9 +565,9 @@ class DataParallelCluster:
             # Recompute weights only when a rate sample actually landed:
             # batched same-timestamp finishes just grow the pending batch.
             if self.capability_estimator.observe_finish(
-                    handle.index, now, idle=handle.in_flight() == 0):
+                    handle.index, now, idle=self._count(handle.index) == 0):
                 self._recompute_weights()
-        if handle.is_draining and handle.in_flight() == 0:
+        if handle.is_draining and self._count(handle.index) == 0:
             self._retire(handle)
         self._drain()
 
@@ -471,25 +591,34 @@ class DataParallelCluster:
         self._submit(request)
 
     def _simulator(self):
-        if self._sim is not None:
-            return self._sim
-        return getattr(self.engines[0], "sim", None)
+        sim = self._sim_memo
+        if sim is None:
+            sim = self._sim if self._sim is not None else getattr(
+                self.engines[0], "sim", None)
+            self._sim_memo = sim
+        return sim
 
     def _now(self) -> float:
         sim = self._simulator()
         return sim.now if sim is not None else 0.0
 
     def _has_available(self) -> bool:
-        return any(handle.accepts_work for handle in self.handles)
+        return bool(self._eligible)
 
     def _all_saturated(self) -> bool:
         """True when no dispatch-eligible replica can take a request right
         now (every eligible engine saturated, or none at all — everything
-        still provisioning, draining out, stalled or failed)."""
-        available = [h for h in self.handles if h.accepts_work]
-        if not available:
+        still provisioning, draining out, stalled or failed).  O(1) on a
+        stock fleet: the incremental headroom count answers directly; only
+        engines with overridden probes (test fakes) are probed live."""
+        if not self._eligible:
             return True
-        return all(self._saturated(h.engine) for h in available)
+        if self._n_fast_unsat:
+            return False
+        for idx in self._slow_eligible:
+            if not self._saturated(self.engines[idx]):
+                return False
+        return True
 
     @staticmethod
     def _saturated(engine) -> bool:
@@ -519,6 +648,7 @@ class DataParallelCluster:
         index = len(self.engines)
         now = self._now()
         self.engines.append(engine)
+        self._track_engine(engine)
         handle = ReplicaHandle(engine=engine, index=index,
                                state=ReplicaState.PROVISIONING,
                                provisioned_at=now)
@@ -570,8 +700,10 @@ class DataParallelCluster:
         if migrate:
             evacuate = getattr(handle.engine, "evacuate_unstarted", None)
             if callable(evacuate):
-                self._migrate(evacuate(), index)
-        if handle.in_flight() == 0:
+                evacuated = evacuate()
+                self._resync_load(index)  # evacuation bypassed submit/finish
+                self._migrate(evacuated, index)
+        if self._count(index) == 0:
             self._retire(handle)
         return handle
 
@@ -615,6 +747,7 @@ class DataParallelCluster:
         recoverable, lost = failer(
             migrate=migrate, retry_started=retry_started) \
             if callable(failer) else ([], [])
+        self._resync_load(index)  # crash evacuation bypassed submit/finish
         for request in lost:
             request.lost = True
         self._lost.extend(lost)
@@ -649,6 +782,7 @@ class DataParallelCluster:
             handle.stalled = True
             self.stats.stalls += 1
             self.lifecycle_log.append((now, handle.index, "stalled"))
+            self._refresh_eligible()
         self._stall_until[index] = max(
             self._stall_until.get(index, 0.0), now + duration)
         sim.schedule(duration, self._end_stall, handle)
@@ -662,6 +796,7 @@ class DataParallelCluster:
         handle.stalled = False
         self.lifecycle_log.append(
             (self._now(), handle.index, handle.state.value))
+        self._refresh_eligible()
         self._drain()  # the survivor can absorb queued work immediately
 
     def _migrate(self, requests, from_index: int) -> None:
@@ -715,6 +850,7 @@ class DataParallelCluster:
     def _log_transition(self, handle) -> None:
         self.lifecycle_log.append(
             (self._now(), handle.index, handle.state.value))
+        self._refresh_eligible()
 
     def active_indices(self) -> list:
         """Engine indices currently in the dispatch set."""
@@ -757,22 +893,33 @@ class DataParallelCluster:
         load-following policy (JSQ, p2c, token-weighted, the bounded-affinity
         spill bound) routes correctly across a mixed-spec fleet.
         """
-        engine = self.engines[idx]
         if self.policy == "token_weighted":
-            probe = getattr(engine, "in_flight_token_load", None)
+            # Token loads drift every iteration (tokens generate without any
+            # dispatcher-visible event), so they stay live probes.
+            probe = getattr(self.engines[idx], "in_flight_token_load", None)
             if callable(probe):
                 return probe() / self._capability[idx]
-        return engine.in_flight_count() / self._capability[idx]
+        if self._fast[idx]:
+            return self._inflight[idx] / self._capability[idx]
+        return self.engines[idx].in_flight_count() / self._capability[idx]
 
     def _pick(self, request, candidates: Optional[list] = None) -> int:
         """Pick an engine index among ``candidates`` (default: active set)."""
         n = len(self.engines)
         if candidates is None:
-            candidates = [h.index for h in self.handles if h.accepts_work]
+            candidates = self._eligible
         if not candidates:
             raise RuntimeError("no dispatch-eligible replica")
         if len(candidates) == 1:
             return candidates[0]
+        if self.policy == "least_loaded" and self._all_fast:
+            # JSQ over cached counters, no dict churn.  ``min`` keeps the
+            # first minimum in candidate order — the same tie-break as the
+            # loads-dict path below.
+            if self._uniform_caps:
+                return min(candidates, key=self._inflight.__getitem__)
+            inflight, capability = self._inflight, self._capability
+            return min(candidates, key=lambda i: inflight[i] / capability[i])
         if self.policy == "round_robin":
             eligible = set(candidates)
             for _ in range(n):

@@ -75,6 +75,7 @@ class GpuDevice:
         self.spec = spec
         self.capacity = int(memory_bytes if memory_bytes is not None else spec.memory_bytes)
         self._used: dict[str, int] = {c: 0 for c in MEMORY_CATEGORIES}
+        self._used_total: int = 0  # running sum of _used (hot-path probe)
         self.samples: list[MemorySample] = []
         self._telemetry_interval: Optional[float] = None
         self._last_sample_time: float = float("-inf")
@@ -84,7 +85,7 @@ class GpuDevice:
     # ------------------------------------------------------------------ #
     @property
     def used_bytes(self) -> int:
-        return sum(self._used.values())
+        return self._used_total
 
     @property
     def free_bytes(self) -> int:
@@ -104,6 +105,7 @@ class GpuDevice:
             )
         self._used.setdefault(category, 0)
         self._used[category] += nbytes
+        self._used_total += nbytes
 
     def release(self, category: str, nbytes: int) -> None:
         """Return ``nbytes`` previously reserved under ``category``."""
@@ -115,6 +117,7 @@ class GpuDevice:
                 f"release {nbytes} from '{category}' exceeds held {held}"
             )
         self._used[category] = held - nbytes
+        self._used_total -= nbytes
 
     def move(self, src: str, dst: str, nbytes: int) -> None:
         """Reclassify bytes between categories without changing the total.
@@ -127,6 +130,7 @@ class GpuDevice:
         # A move can never fail: the bytes were already resident.
         self._used.setdefault(dst, 0)
         self._used[dst] += nbytes
+        self._used_total += nbytes
 
     def can_fit(self, nbytes: int) -> bool:
         return nbytes <= self.free_bytes

@@ -4,6 +4,14 @@ Complements the percentile summaries with the over-time views used in the
 timeline figures and in capacity diagnostics: how many requests complete per
 window, how many of them met the SLO (goodput), and how full the continuous
 batch ran.
+
+All series share the same binning contract: points with ``time > horizon``
+are **dropped** (they are outside the series being reported — clamping them
+into the last bin would silently inflate the final window), while the exact
+``time == horizon`` boundary stays in the last bin.  Binning and counting
+run on preallocated numpy arrays (one ``bincount`` per series) rather than
+per-request Python dict/object churn, so million-request traces summarize in
+milliseconds.
 """
 
 from __future__ import annotations
@@ -24,21 +32,40 @@ class WindowPoint:
     value: float
 
 
+def _n_bins(window: float, horizon: float) -> int:
+    return max(1, int(np.ceil(horizon / window)))
+
+
+def _bin_indices(times: np.ndarray, window: float, n_bins: int) -> np.ndarray:
+    """Bin index per timestamp; the ``== horizon`` boundary lands in-bin.
+
+    Callers have already dropped ``time > horizon`` points, so the only
+    index reaching ``n_bins`` is the exact right edge — fold it into the
+    last bin.
+    """
+    idx = (times / window).astype(np.intp)
+    return np.minimum(idx, n_bins - 1)
+
+
 def windowed_throughput(
     requests: Sequence[Request],
     window: float,
     horizon: float,
 ) -> list[WindowPoint]:
-    """Completed requests per second, per window (by completion time)."""
+    """Completed requests per second, per window (by completion time).
+
+    Completions after ``horizon`` are excluded (see module docstring).
+    """
     if window <= 0 or horizon <= 0:
         raise ValueError("window and horizon must be positive")
-    n_bins = max(1, int(np.ceil(horizon / window)))
-    counts = np.zeros(n_bins)
-    for request in requests:
-        if request.finish_time is None:
-            continue
-        idx = min(int(request.finish_time / window), n_bins - 1)
-        counts[idx] += 1
+    n_bins = _n_bins(window, horizon)
+    finishes = np.fromiter(
+        (r.finish_time for r in requests
+         if r.finish_time is not None and r.finish_time <= horizon),
+        dtype=float,
+    )
+    counts = np.bincount(
+        _bin_indices(finishes, window, n_bins), minlength=n_bins)
     return [
         WindowPoint(window_end=(i + 1) * window, value=counts[i] / window)
         for i in range(n_bins)
@@ -51,18 +78,21 @@ def windowed_goodput(
     horizon: float,
     slo_ttft: float,
 ) -> list[WindowPoint]:
-    """SLO-compliant completions per second, per window."""
+    """SLO-compliant completions per second, per window.
+
+    Completions after ``horizon`` are excluded (see module docstring).
+    """
     if slo_ttft <= 0:
         raise ValueError("slo_ttft must be positive")
-    n_bins = max(1, int(np.ceil(horizon / window)))
-    counts = np.zeros(n_bins)
-    for request in requests:
-        if request.finish_time is None or request.first_token_time is None:
-            continue
-        if request.ttft > slo_ttft:
-            continue
-        idx = min(int(request.finish_time / window), n_bins - 1)
-        counts[idx] += 1
+    n_bins = _n_bins(window, horizon)
+    finishes = np.fromiter(
+        (r.finish_time for r in requests
+         if r.finish_time is not None and r.first_token_time is not None
+         and r.ttft <= slo_ttft and r.finish_time <= horizon),
+        dtype=float,
+    )
+    counts = np.bincount(
+        _bin_indices(finishes, window, n_bins), minlength=n_bins)
     return [
         WindowPoint(window_end=(i + 1) * window, value=counts[i] / window)
         for i in range(n_bins)
@@ -78,15 +108,18 @@ def batch_occupancy_series(
 
     Enable recording with ``EngineConfig.record_batch_occupancy``; the engine
     then appends ``(time, batch_size)`` to ``engine.batch_occupancy`` at each
-    iteration start.
+    iteration start.  Samples after ``horizon`` are excluded (see module
+    docstring).
     """
-    n_bins = max(1, int(np.ceil(horizon / window)))
-    sums = np.zeros(n_bins)
-    counts = np.zeros(n_bins)
-    for time, size in samples:
-        idx = min(int(time / window), n_bins - 1)
-        sums[idx] += size
-        counts[idx] += 1
+    n_bins = _n_bins(window, horizon)
+    kept = [(time, size) for time, size in samples if time <= horizon]
+    times = np.fromiter(
+        (time for time, _ in kept), dtype=float, count=len(kept))
+    sizes = np.fromiter(
+        (size for _, size in kept), dtype=float, count=len(kept))
+    idx = _bin_indices(times, window, n_bins)
+    sums = np.bincount(idx, weights=sizes, minlength=n_bins)
+    counts = np.bincount(idx, minlength=n_bins)
     return [
         WindowPoint(window_end=(i + 1) * window,
                     value=(sums[i] / counts[i]) if counts[i] else 0.0)
@@ -95,16 +128,32 @@ def batch_occupancy_series(
 
 
 def peak_concurrency(requests: Sequence[Request]) -> int:
-    """Maximum number of simultaneously-admitted requests over a run."""
-    events: list[tuple[float, int]] = []
-    for request in requests:
-        if request.admit_time is None or request.finish_time is None:
+    """Maximum number of simultaneously-admitted requests over a run.
+
+    Tie-break at equal timestamps: **arrivals are processed before
+    departures**, so a request admitted at the exact instant another one
+    finishes (a hand-off) counts as overlapping with it.  The alternative
+    (departure first) would report a peak of 1 for a chain of back-to-back
+    hand-offs, hiding the instant where the slot is doubly held.
+    """
+    n = sum(
+        1 for r in requests
+        if r.admit_time is not None and r.finish_time is not None)
+    if n == 0:
+        return 0
+    times = np.empty(2 * n, dtype=float)
+    deltas = np.empty(2 * n, dtype=np.intp)
+    pos = 0
+    for r in requests:
+        if r.admit_time is None or r.finish_time is None:
             continue
-        events.append((request.admit_time, +1))
-        events.append((request.finish_time, -1))
-    events.sort()
-    peak = current = 0
-    for _, delta in events:
-        current += delta
-        peak = max(peak, current)
-    return peak
+        times[pos] = r.admit_time
+        deltas[pos] = 1
+        times[pos + 1] = r.finish_time
+        deltas[pos + 1] = -1
+        pos += 2
+    # Sort by time; at equal times, +1 before -1 (lexsort: last key is the
+    # primary one, and -deltas puts arrivals first).
+    order = np.lexsort((-deltas, times))
+    running = np.cumsum(deltas[order])
+    return int(running.max(initial=0))

@@ -612,8 +612,16 @@ class ServingEngine:
             request.token_times.append(now)
             if request.tokens_generated >= request.output_tokens:
                 finished.append(request)
-        for request in finished:
-            self._finish(request, now)
+        if finished:
+            for request in finished:
+                self._finish(request, now)
+            # One rebuild instead of a per-request ``list.remove`` scan: a
+            # full batch finishing together used to cost O(batch^2).  Batch
+            # order of the survivors is preserved.
+            self._running = [
+                r for r in self._running
+                if r.state is not RequestState.FINISHED
+            ]
         # Fire finish hooks only after every finish of this iteration is
         # finalized: a hook may submit new work (cluster queue drain), which
         # kicks a fresh iteration — doing that mid-loop would let the new
@@ -626,9 +634,10 @@ class ServingEngine:
         self._start_iteration()
 
     def _finish(self, request: Request, now: float) -> None:
+        """Finalize one completed request.  The caller removes it from
+        ``_running`` (batched, one pass for the whole iteration)."""
         request.state = RequestState.FINISHED
         request.finish_time = now
-        self._running.remove(request)
         self.gpu.release("kv", request.kv_reserved_bytes)
         request.kv_reserved_bytes = 0
         if request.adapter_id is not None:

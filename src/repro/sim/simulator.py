@@ -4,6 +4,15 @@ The simulator is intentionally tiny: the serving engine drives almost all of
 the logic, and only needs ``schedule`` / ``cancel`` / ``run``.  Events that
 fire at the same simulated time are processed in scheduling order, which
 keeps every run bit-for-bit reproducible.
+
+Performance: the heap stores ``(time, seq, Event)`` triples, so ``heapq``
+orders entries with C-level tuple comparisons instead of calling
+``Event.__lt__`` (which must build two tuples per comparison).  ``run``
+inlines the pop loop and drains same-timestamp bursts (a batch of finish
+events, a wave of arrivals) in a tight inner loop without re-checking the
+horizon — the first event at a timestamp already proved the burst is in
+range.  Event order is untouched: everything still fires strictly by
+``(time, seq)``.
 """
 
 from __future__ import annotations
@@ -40,6 +49,11 @@ class Event:
         return f"Event(t={self.time:.6f}, seq={self.seq}, fn={name}, cancelled={self.cancelled})"
 
 
+#: A heap entry: ``(time, seq, event)``.  Comparisons never reach the Event
+#: (seq is unique), so heap maintenance stays in C.
+_HeapEntry = tuple[float, int, Event]
+
+
 class Simulator:
     """A deterministic discrete-event simulator.
 
@@ -54,7 +68,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        self._heap: list[_HeapEntry] = []
         self._seq = itertools.count()
         self._processed = 0
         self._cancelled = 0  # cancelled events still sitting in the heap
@@ -80,7 +94,7 @@ class Simulator:
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} < now ({self.now})")
         event = Event(time, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, event.seq, event))
         return event
 
     def cancel(self, event: Event) -> None:
@@ -111,7 +125,7 @@ class Simulator:
         Returns the number of events cancelled.
         """
         cancelled = 0
-        for event in self._heap:
+        for _, _, event in self._heap:
             if not event.cancelled and predicate(event):
                 event.cancelled = True
                 cancelled += 1
@@ -123,29 +137,35 @@ class Simulator:
     def _compact(self) -> None:
         """Drop cancelled entries and re-heapify the survivors.
 
-        Ordering is untouched: events sort totally by ``(time, seq)``, so a
+        Ordering is untouched: entries sort totally by ``(time, seq)``, so a
         rebuilt heap pops in exactly the order the lazy-skip path would.
+        Compaction mutates the list *in place* (slice assignment) because
+        ``run`` keeps a local alias to it across event callbacks — rebinding
+        ``self._heap`` to a fresh list would strand that alias on the old one
+        and silently drop everything scheduled afterwards.
         """
-        self._heap = [event for event in self._heap if not event.cancelled]
+        self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
         heapq.heapify(self._heap)
         self._cancelled = 0
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the heap is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap).popped = True
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)[2].popped = True
             self._cancelled -= 1
-        return self._heap[0].time if self._heap else None
+        return heap[0][0] if heap else None
 
     def step(self) -> bool:
         """Execute the next live event.  Returns False when none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            time, _, event = heapq.heappop(heap)
             event.popped = True
             if event.cancelled:
                 self._cancelled -= 1
                 continue
-            self.now = event.time
+            self.now = time
             self._processed += 1
             event.callback(*event.args)
             return True
@@ -154,20 +174,50 @@ class Simulator:
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the heap drains, ``until`` is reached, or ``max_events`` fire.
 
-        When ``until`` is given the clock is advanced to exactly ``until`` even
-        if the last event fires earlier, so time-based telemetry has a defined
-        end point.
+        When the run stops *naturally* — the heap drains, or the next live
+        event lies past ``until`` — the clock is advanced to exactly
+        ``until`` (when given), so time-based telemetry has a defined end
+        point.  A ``max_events`` stop is different: it is a mid-flight pause
+        (callers resume with another ``run``), so the clock stays at the
+        last executed event and is *not* advanced to ``until``.
         """
+        heap = self._heap
+        heappop = heapq.heappop
+        unlimited = max_events is None
+        remaining = -1 if max_events is None else max_events
         executed = 0
-        while True:
-            if max_events is not None and executed >= max_events:
+        while heap:
+            if not unlimited and executed >= remaining:
                 return
-            next_time = self.peek_time()
-            if next_time is None:
+            time, _, event = heap[0]
+            if event.cancelled:
+                heappop(heap)
+                event.popped = True
+                self._cancelled -= 1
+                continue
+            if until is not None and time > until:
                 break
-            if until is not None and next_time > until:
-                break
-            self.step()
+            heappop(heap)
+            event.popped = True
+            self.now = time
+            self._processed += 1
             executed += 1
+            event.callback(*event.args)
+            # Same-timestamp burst: every event at this exact time is already
+            # inside the horizon, so fire the whole batch without re-testing
+            # ``until``.  Strict (time, seq) order is preserved — events the
+            # callbacks schedule at the same timestamp enter the heap with
+            # higher seq and are picked up right here.
+            while heap and heap[0][0] == time:
+                if not unlimited and executed >= remaining:
+                    return
+                _, _, event = heappop(heap)
+                event.popped = True
+                if event.cancelled:
+                    self._cancelled -= 1
+                    continue
+                self._processed += 1
+                executed += 1
+                event.callback(*event.args)
         if until is not None and until > self.now:
             self.now = until

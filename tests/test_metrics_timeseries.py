@@ -91,3 +91,72 @@ def test_engine_records_occupancy_when_enabled(big_registry, rng_streams):
     system.run_trace(trace.fresh())
     assert len(system.engine.batch_occupancy) == system.engine.stats.iterations
     assert max(size for _, size in system.engine.batch_occupancy) >= 1
+
+
+# --------------------------------------------------------------------- #
+# Horizon handling: out-of-horizon points are dropped, the == horizon
+# boundary stays in the last bin.  (Clamping time > horizon into the last
+# bin used to inflate the final window.)
+# --------------------------------------------------------------------- #
+def test_windowed_throughput_drops_out_of_horizon_completions():
+    reqs = [
+        _finished(0, 0.0, finish=1.0),   # bin 0
+        _finished(1, 0.0, finish=4.0),   # == horizon: stays in last bin
+        _finished(2, 0.0, finish=4.5),   # past horizon: dropped
+        _finished(3, 0.0, finish=9.0),   # far past horizon: dropped
+    ]
+    series = windowed_throughput(reqs, window=2.0, horizon=4.0)
+    assert len(series) == 2
+    assert series[0].value == pytest.approx(1 / 2.0)   # only finish=1.0
+    assert series[1].value == pytest.approx(1 / 2.0)   # only finish=4.0
+
+
+def test_windowed_goodput_drops_out_of_horizon_completions():
+    reqs = [
+        _finished(0, 0.0, finish=1.0, ttft=0.1),   # compliant, in horizon
+        _finished(1, 0.0, finish=4.5, ttft=0.1),   # compliant but dropped
+        _finished(2, 0.0, finish=1.5, ttft=9.0),   # in horizon, SLO-violating
+    ]
+    series = windowed_goodput(reqs, window=2.0, horizon=4.0, slo_ttft=1.0)
+    assert series[0].value == pytest.approx(1 / 2.0)
+    assert series[1].value == 0.0
+
+
+def test_batch_occupancy_drops_out_of_horizon_samples():
+    samples = [(1.0, 4), (4.0, 6), (5.0, 100)]
+    series = batch_occupancy_series(samples, window=2.0, horizon=4.0)
+    assert series[0].value == pytest.approx(4.0)
+    # The boundary sample (4.0) lands in the last bin; 5.0 is dropped
+    # instead of polluting it.
+    assert series[1].value == pytest.approx(6.0)
+
+
+# --------------------------------------------------------------------- #
+# peak_concurrency tie-break: arrivals before departures at equal times,
+# so a back-to-back hand-off counts as overlapping.  Sorting raw
+# (time, ±1) tuples would process the -1 first and undercount.
+# --------------------------------------------------------------------- #
+def test_peak_concurrency_counts_handoff_instant():
+    reqs = [
+        _finished(0, admit=0.0, finish=1.0),
+        _finished(1, admit=1.0, finish=2.0),
+        _finished(2, admit=2.0, finish=3.0),
+    ]
+    assert peak_concurrency(reqs) == 2
+
+
+def test_peak_concurrency_simultaneous_swap():
+    # Two finish at t=2 exactly as two are admitted: all four overlap there.
+    reqs = [
+        _finished(0, admit=0.0, finish=2.0),
+        _finished(1, admit=0.0, finish=2.0),
+        _finished(2, admit=2.0, finish=3.0),
+        _finished(3, admit=2.0, finish=3.0),
+    ]
+    assert peak_concurrency(reqs) == 4
+
+
+def test_peak_concurrency_ignores_never_admitted():
+    pending = Request(request_id=9, arrival_time=0.0, input_tokens=5, output_tokens=5)
+    reqs = [pending, _finished(0, admit=0.0, finish=1.0)]
+    assert peak_concurrency(reqs) == 1

@@ -164,7 +164,7 @@ def test_compaction_evicts_cancelled_majority():
     # Cancelled (6) outnumber live (4): the heap was compacted in place.
     assert len(sim._heap) == 4
     assert sim.pending_events == 4
-    assert all(not event.cancelled for event in sim._heap)
+    assert all(not entry[2].cancelled for entry in sim._heap)
 
 
 def test_compaction_preserves_firing_order():
@@ -264,7 +264,7 @@ def test_compaction_still_triggers_after_bulk_cancel():
     # Cancelled (6) outnumber live (4): compacted in place, one pass.
     assert len(sim._heap) == 4
     assert sim.pending_events == 4
-    assert all(not event.cancelled for event in sim._heap)
+    assert all(not entry[2].cancelled for entry in sim._heap)
     # The survivors still fire in order, and per-event cancellation after a
     # bulk sweep keeps the accounting exact.
     sim.cancel(events[6])
@@ -274,3 +274,36 @@ def test_compaction_still_triggers_after_bulk_cancel():
     assert fired == [0]
     assert sim.pending_events == 0
     assert sim.processed_events == 4  # 3 survivors + the late probe
+
+
+def test_max_events_stop_does_not_advance_clock_to_until():
+    """A max_events stop is a mid-flight pause: the clock stays at the last
+    executed event so the caller can resume exactly where it left off.
+    Only a natural stop (heap drained, or next event past the horizon)
+    advances the clock to ``until``."""
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(until=100.0, max_events=3)
+    assert fired == [0, 1, 2]
+    assert sim.now == 3.0  # NOT advanced to until=100
+    # Resuming picks up the remaining events, and the natural stop then
+    # advances the clock to the horizon.
+    sim.run(until=100.0)
+    assert fired == [0, 1, 2, 3, 4]
+    assert sim.now == 100.0
+
+
+def test_max_events_stop_mid_burst_preserves_order():
+    """max_events can split a same-timestamp burst across two runs without
+    reordering or dropping events."""
+    sim = Simulator()
+    fired = []
+    for i in range(4):
+        sim.schedule(1.0, fired.append, i)
+    sim.run(max_events=2)
+    assert fired == [0, 1]
+    assert sim.now == 1.0
+    sim.run()
+    assert fired == [0, 1, 2, 3]

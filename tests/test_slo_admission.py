@@ -306,3 +306,40 @@ def test_slo_policy_requires_backpressure():
     with pytest.raises(ValueError):
         DataParallelCluster([_QueueEngine(1)], backpressure=False,
                             slo_policy=SloPolicy(ttft_deadline=1.0))
+
+
+def test_estimator_folds_batched_intervals_hand_computed_ewma():
+    """Two successive drain events, both batched, with the EWMA folded by
+    hand: a batch of 3 amortizes its gap to 1.0 s/slot (the seed), then a
+    batch of 2 amortizes the next gap to 0.5 s/slot and folds in at alpha."""
+    sim, engines, cluster = _saturated_cluster(capacity=3)
+    sim.now = 1.0
+    for _ in range(3):
+        engines[0].finish_one()      # one drain event of size 3
+    assert cluster.estimated_queue_wait() == 0.0   # still seeding
+    sim.now = 4.0
+    engines[1].finish_one()          # (4.0 - 1.0) / 3 = 1.0 seeds the EWMA
+    assert cluster.estimated_queue_wait() == pytest.approx(1.0)
+    engines[1].finish_one()          # same instant: grows the current batch
+    sim.now = 5.0
+    engines[1].finish_one()          # (5.0 - 4.0) / 2 = 0.5 folds in
+    expected = (1 - FINISH_INTERVAL_EWMA_ALPHA) * 1.0 \
+        + FINISH_INTERVAL_EWMA_ALPHA * 0.5
+    assert cluster.estimated_queue_wait() == pytest.approx(expected)
+
+
+def test_estimator_amortized_wait_scales_with_queue_position():
+    """The per-slot amortized interval multiplies by FIFO queue position:
+    a batch of 2 that took 6.0 s to the next drain is 3.0 s/slot, so an
+    arrival behind 2 queued requests waits about 3 intervals."""
+    sim, engines, cluster = _saturated_cluster(capacity=2)
+    sim.now = 2.0
+    engines[0].finish_one()
+    engines[0].finish_one()          # batch of 2 at t=2
+    sim.now = 8.0
+    engines[1].finish_one()          # (8.0 - 2.0) / 2 = 3.0 seeds the EWMA
+    # Refill the 3 free slots, then stack 2 arrivals in the FIFO lane.
+    for rid in range(20, 25):
+        cluster.dispatch(_req(rid=rid))
+    assert cluster.queue_len() == 2
+    assert cluster.estimated_queue_wait() == pytest.approx(3 * 3.0)
