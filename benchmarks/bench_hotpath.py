@@ -34,6 +34,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np
 
+from repro.serving.region import RegionConfig, ServingRegion
 from repro.serving.replica import MultiReplicaSystem
 from repro.workload.request import Request
 
@@ -49,6 +50,20 @@ HEADLINE_FIGS = (
 #: CI smoke gate: optimized runs clear this with wide margin even on slow
 #: shared runners; the pre-optimization hot path cannot reach it.
 SMOKE_MIN_EVENTS_PER_SEC = 15_000.0
+
+#: Region-scale sweep: total replicas per point (spread over
+#: ``REGION_SHARDS`` dispatcher shards).  The 1024-replica point is the
+#: sub-linear-dispatch demonstration — the same fleet is also run with
+#: ``dispatch_index=False`` as the linear-scan baseline.
+REGION_REPLICA_SWEEP = (64, 256, 1024)
+REGION_SHARDS = 8
+
+#: CI gate for the 1024-replica indexed region point: the sharded O(log n)
+#: control plane clears this with margin even on slow shared runners
+#: (locally ~66k events/s, and the hotpath gate's history pins CI at
+#: roughly a quarter of local); the monolithic linear-scan baseline
+#: (~42k local) cannot reach it there.
+SMOKE_MIN_REGION_EVENTS_PER_SEC = 18_000.0
 
 
 def build_trace(n_requests: int, rps: float, seed: int = 7) -> list:
@@ -89,6 +104,68 @@ def run_hotpath(n_requests: int, rps: float, n_replicas: int) -> dict:
     }
 
 
+def run_region_scale(n_requests: int, total_replicas: int, *,
+                     n_shards: int = REGION_SHARDS,
+                     dispatch_index: bool = True,
+                     rps: float = 16_000.0) -> dict:
+    """One region-scale point: ``total_replicas`` behind ``n_shards``
+    dispatcher shards.
+
+    The offered load is *constant* across fleet widths: the sweep isolates
+    the per-arrival dispatch cost as the fleet grows under identical work.
+    A linear-scan dispatcher pays O(fleet) per pick, so its events/sec
+    collapses with width; the O(log n) indices hold events/sec roughly
+    flat — that flatness is the sub-linear-dispatch evidence the CI gate
+    pins."""
+    requests = build_trace(n_requests, rps)
+    region = ServingRegion.build(
+        "slora", n_replicas=total_replicas // n_shards,
+        dispatch_policy="least_loaded", predictor_accuracy=None, seed=0,
+        dispatch_index=dispatch_index,
+        region=RegionConfig(n_shards=n_shards),
+    )
+    start = time.perf_counter()
+    region.run_trace(requests)
+    elapsed = time.perf_counter() - start
+    events = region.sim.processed_events
+    finished = sum(1 for r in requests if r.finished)
+    if finished != n_requests:
+        raise RuntimeError(
+            f"region bench did not complete: {finished}/{n_requests} finished")
+    return {
+        "n_requests": n_requests,
+        "total_replicas": total_replicas,
+        "n_shards": n_shards,
+        "dispatch_index": dispatch_index,
+        "cross_shard_spills": region.stats.cross_shard_spills,
+        "cross_shard_steals": region.stats.steals,
+        "events": events,
+        "elapsed_s": round(elapsed, 3),
+        "events_per_sec": round(events / elapsed, 1),
+    }
+
+
+def run_region_sweep(n_requests: int) -> list:
+    """The replica-count scaling sweep plus the widest point's baseline: the
+    pre-region control plane (one monolithic dispatcher, linear-scan
+    dispatch) over the same 1024-replica fleet — the sub-linear-dispatch
+    evidence the CI gate pins."""
+    points = []
+    for total in REGION_REPLICA_SWEEP:
+        point = run_region_scale(n_requests, total)
+        points.append(point)
+        print(f"region: {total} replicas x {point['n_shards']} shards "
+              f"(indexed) -> {point['events_per_sec']:,.0f} events/s")
+    baseline = run_region_scale(n_requests, REGION_REPLICA_SWEEP[-1],
+                                n_shards=1, dispatch_index=False)
+    points.append(baseline)
+    print(f"baseline: {baseline['total_replicas']} replicas, 1 dispatcher, "
+          f"linear scan -> {baseline['events_per_sec']:,.0f} events/s "
+          f"(region is "
+          f"{points[-2]['events_per_sec'] / baseline['events_per_sec']:.1f}x)")
+    return points
+
+
 def time_headline_figs() -> dict:
     """Wall-clock of each headline figure experiment in --quick mode."""
     timings = {}
@@ -105,6 +182,13 @@ def time_headline_figs() -> dict:
     return timings
 
 
+def _print_profile(profiler, top_n: int) -> None:
+    import pstats
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(top_n)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests", type=int, default=1_000_000)
@@ -116,14 +200,68 @@ def main() -> int:
                         help="exit non-zero below this events/sec")
     parser.add_argument("--figs", action="store_true",
                         help="also time the headline figures in --quick mode")
+    parser.add_argument("--profile", type=int, default=None, metavar="N",
+                        help="run under cProfile and print the top N "
+                             "functions by cumulative time")
+    parser.add_argument("--region", action="store_true",
+                        help="run the region-scale replica sweep (64..1024 "
+                             "replicas + linear-scan baseline) instead of "
+                             "the single hotpath point")
+    parser.add_argument("--check-min-region", type=float, default=None,
+                        metavar="EV_S",
+                        help="exit non-zero when the widest indexed region "
+                             "point lands below this events/sec")
     parser.add_argument("--baseline", type=str, default=None,
                         help="previous --json output to compute speedup against")
     parser.add_argument("--json", type=str, default=None, metavar="PATH",
                         help="write the result record to PATH")
     args = parser.parse_args()
 
+    profiler = None
+    if args.profile:
+        import cProfile
+        profiler = cProfile.Profile()
+
+    if args.region:
+        region_n = 60_000 if args.smoke else 200_000
+        if profiler is not None:
+            profiler.enable()
+        points = run_region_sweep(region_n)
+        if profiler is not None:
+            profiler.disable()
+            _print_profile(profiler, args.profile)
+        result = {
+            "region": points,
+            "ci_gate": {
+                "smoke_requests": 60_000,
+                "min_events_per_sec": SMOKE_MIN_REGION_EVENTS_PER_SEC,
+            },
+        }
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(result, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+        threshold = args.check_min_region
+        if threshold is not None:
+            widest = next(
+                p for p in points
+                if p["dispatch_index"]
+                and p["total_replicas"] == REGION_REPLICA_SWEEP[-1])
+            if widest["events_per_sec"] < threshold:
+                print(f"FAIL: {widest['events_per_sec']:,.0f} events/s at "
+                      f"{widest['total_replicas']} replicas is below the "
+                      f"pinned minimum {threshold:,.0f}", file=sys.stderr)
+                return 1
+        return 0
+
     n = 100_000 if args.smoke else args.requests
+    if profiler is not None:
+        profiler.enable()
     result = {"hotpath": run_hotpath(n, args.rps, args.replicas)}
+    if profiler is not None:
+        profiler.disable()
+        _print_profile(profiler, args.profile)
     hp = result["hotpath"]
     print(f"hotpath: {hp['n_requests']:,} requests over {hp['n_replicas']} "
           f"replicas -> {hp['events']:,} events in {hp['elapsed_s']}s "

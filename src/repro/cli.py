@@ -52,6 +52,7 @@ QUICK_OVERRIDES = {
     "fig28_autoscale": {"duration": 200.0},
     "fig29_predictive_autoscale": {"duration": 200.0},
     "fig30_fault_recovery": {"duration": 200.0},
+    "fig31_region_scaling": {"duration": 60.0, "warmup": 10.0},
     "abl_fault_chaos": {"duration": 150.0, "mttfs": (None, 60.0, 30.0)},
     "abl_wrs_degree": {"duration": 90.0, "loads": (9.0, 11.0)},
     "abl_eviction_weights": {"duration": 60.0, "grid_step": 0.5},

@@ -1,0 +1,98 @@
+"""Region scaling: one sharded region vs N independent clusters.
+
+Beyond the paper's figures: multi-tenant serving at region scale.  A
+Zipf-skewed tenant population is tenant-hashed across D dispatcher shards,
+so one shard inherits the heavy tenants — the static-partitioning failure
+mode: the hot shard queues and sheds while its siblings idle.  Three
+control planes over the *same* fleet and trace:
+
+* ``independent`` — D isolated clusters (tenant-hashed, no cooperation):
+  the N-independent-clusters baseline.
+* ``spill`` — cross-shard load shedding only: an arrival finding its home
+  shard full is admitted by the least-loaded sibling with headroom.
+* ``region`` — spill plus work stealing: a shard that frees capacity
+  pulls queued work from the most-backlogged sibling.
+
+The headline is the hot-shard tail: p99 TTFT and shed rate under the SLO
+admission policy.  Spill alone helps arrivals that *would* queue; stealing
+also rescues work already queued when the burst landed, so the full region
+should dominate both.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Row,
+    standard_registry,
+    standard_trace,
+    trace_slo,
+)
+from repro.serving.admission import SloPolicy
+from repro.serving.region import RegionConfig, ServingRegion
+from repro.sim.rng import RngStreams
+
+#: (variant name, spill enabled, steal enabled).
+VARIANTS = (
+    ("independent", False, False),
+    ("spill", True, False),
+    ("steal", False, True),
+    ("region", True, True),
+)
+
+
+def run(
+    rps: float = 56.0,
+    duration: float = 120.0,
+    n_shards: int = 4,
+    replicas_per_shard: int = 2,
+    n_tenants: int = 16,
+    tenant_skew: float = 1.2,
+    policy: str = "least_loaded",
+    preset: str = "chameleon",
+    warmup: float = 20.0,
+    seed: int = 1,
+) -> ExperimentResult:
+    registry = standard_registry()
+    trace = standard_trace(rps, duration, registry, seed=seed)
+    trace.label_tenants(n_tenants, RngStreams(seed).get("tenants"),
+                        skew=tenant_skew)
+    deadline = trace_slo(trace, registry)
+    rows = []
+    for variant, spill, steal in VARIANTS:
+        region = ServingRegion.build(
+            preset, n_replicas=replicas_per_shard, dispatch_policy=policy,
+            registry=registry, seed=seed,
+            slo_policy=SloPolicy(ttft_deadline=deadline, mode="shed"),
+            region=RegionConfig(n_shards=n_shards, shard_key="tenant",
+                                spill=spill, steal=steal),
+        )
+        region.run_trace(trace.fresh())
+        summary = region.summary(warmup=warmup, duration=duration)
+        requests = [r for r in region.all_requests()
+                    if r.arrival_time >= warmup]
+        shed = sum(1 for r in requests if r.shed)
+        rows.append(Row(
+            variant=variant,
+            p50_ttft_s=summary.p50_ttft,
+            p99_ttft_s=summary.p99_ttft,
+            shed_rate=shed / len(requests) if requests else float("nan"),
+            completed_rps=summary.completed_rps,
+            spills=summary.extra["cross_shard_spills"],
+            steals=summary.extra["cross_shard_steals"],
+            shard_imbalance=summary.extra["shard_imbalance"],
+        ))
+    return ExperimentResult(
+        experiment="fig31",
+        description=f"{n_shards}-shard region vs independent clusters, "
+                    f"{preset!r} x {replicas_per_shard}/shard, "
+                    f"Zipf({tenant_skew}) tenants @ {rps} RPS",
+        rows=rows,
+        params={"rps": rps, "duration": duration, "n_shards": n_shards,
+                "replicas_per_shard": replicas_per_shard,
+                "n_tenants": n_tenants, "tenant_skew": tenant_skew,
+                "policy": policy, "preset": preset, "slo_s": deadline},
+        notes=["same fleet and trace in every row; only the cross-shard "
+               "cooperation changes — the gap to 'independent' is the cost "
+               "of static partitioning under tenant skew"],
+    )

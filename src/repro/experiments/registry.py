@@ -40,6 +40,7 @@ from repro.experiments import (
     fig28_autoscale,
     fig29_predictive_autoscale,
     fig30_fault_recovery,
+    fig31_region_scaling,
 )
 
 EXPERIMENTS: dict[str, Callable] = {
@@ -70,6 +71,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "fig28_autoscale": fig28_autoscale.run,
     "fig29_predictive_autoscale": fig29_predictive_autoscale.run,
     "fig30_fault_recovery": fig30_fault_recovery.run,
+    "fig31_region_scaling": fig31_region_scaling.run,
     # Ablations of design choices (DESIGN.md) and of our modeling assumptions.
     "abl_capability_estimator": abl_capability_estimator.run,
     "abl_fault_chaos": abl_fault_chaos.run,

@@ -18,12 +18,14 @@ force-fed into an overloaded local queue.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.hardware.dispatch_index import MinLoadHeap, SelectableBitset
 from repro.hardware.gpu import GpuDevice, GpuSpec
 from repro.hardware.pcie import PcieLink, Transfer
 
@@ -104,6 +106,8 @@ class DispatchStats:
     migrations: int = 0        # requests re-dispatched off a dead/draining
     #                            replica (each re-offer counts once)
     lost: int = 0              # requests stranded forever by a failure
+    donated: int = 0           # queued requests handed to a sibling shard
+    stolen: int = 0            # requests accepted from a sibling's queue
     queue_delays: list = field(default_factory=list)  # seconds, queued only
 
 
@@ -204,6 +208,7 @@ class DataParallelCluster:
         rng: Optional[np.random.Generator] = None,
         capability_estimator=None,
         sim=None,
+        dispatch_index: bool = True,
     ) -> None:
         if not engines:
             raise ValueError("cluster needs at least one engine")
@@ -273,6 +278,37 @@ class DataParallelCluster:
         self._is_eligible: list[bool] = []
         self._all_fast: bool = True  # every engine on the cached fast path
         self._uniform_batch_cap: bool = True  # one shared max_batch_size
+        # O(log n) dispatch indices over those counters (PR 8).  Which
+        # structures exist depends on the policy; whether they are *used*
+        # is decided per arrival by `_index_active`, which proves the pick
+        # bit-for-bit equal to the linear scan before trusting an index —
+        # otherwise `_submit` falls back to the scan, unchanged.  Pass
+        # ``dispatch_index=False`` to force the scan everywhere (the
+        # differential tests and the linear-scan benchmark baseline).
+        self._use_index = bool(dispatch_index)
+        self._count_heap: Optional[MinLoadHeap] = None
+        self._token_heap: Optional[MinLoadHeap] = None
+        self._unsat_bits: Optional[SelectableBitset] = None
+        self._heap_limit = 4 * len(self.engines) + 64
+        if self._use_index:
+            if policy in ("least_loaded", "adapter_affinity", "bounded_affinity"):
+                self._count_heap = MinLoadHeap()
+            if policy == "token_weighted":
+                self._token_heap = MinLoadHeap()
+            if policy in ("p2c", "round_robin"):
+                self._unsat_bits = SelectableBitset([])
+        self._token_load: list[float] = []   # mirrored in_flight_token_load
+        self._token_fast: list[bool] = []    # stock token probe (mirror safe)
+        self._all_token_fast: bool = True
+        self._total_inflight: int = 0        # fast engines, fleet-wide
+        self._sum_eligible_inflight: int = 0  # fast engines, eligible only
+        self._slow_all: list[int] = []       # engines needing live probes
+        #: adapter id -> ascending replica indices that (recently) held it
+        #: resident.  A lazily-pruned *superset*: entries are added on the
+        #: adapter manager's ready callback (the only transition into
+        #: RESIDENT) and dropped when a pick observes ``is_resident`` is no
+        #: longer true — eviction paths need no hook of their own.
+        self._resident: dict[int, list[int]] = {}
         for engine in self.engines:
             self._track_engine(engine)
         # Dispatch-eligibility cache: lifecycle and stall transitions are
@@ -284,6 +320,11 @@ class DataParallelCluster:
         self._eligible: list[int] = []
         self._slow_eligible: list[int] = []
         self._n_fast_unsat: int = 0
+        #: Region-router hooks fired whenever a capacity-freeing event
+        #: (finish, activation, stall end) leaves this cluster able to admit
+        #: — the work-stealing trigger.  Empty for a standalone cluster, in
+        #: which case the notify path is a no-op.
+        self._capacity_callbacks: list = []
         self._refresh_eligible()
         # Per-engine capability weights, normalized to mean 1.0 over the
         # active set.  Identical capabilities (or none reported) keep every
@@ -324,7 +365,9 @@ class DataParallelCluster:
         Lazy import: the hardware layer must not import the serving package
         at module load (cycle).
         """
+        from repro.serving.adapter_manager import AdapterState
         from repro.serving.engine import ServingEngine
+        index = len(self._fast)
         fast = (
             isinstance(engine, ServingEngine)
             and type(engine).in_flight_count is ServingEngine.in_flight_count
@@ -332,28 +375,108 @@ class DataParallelCluster:
         )
         self._fast.append(fast)
         self._inflight.append(engine.in_flight_count() if fast else 0)
+        self._total_inflight += self._inflight[index]
         self._batch_cap.append(
             float(engine.config.max_batch_size) if fast else float("inf"))
         # Not dispatch-eligible until the next lifecycle refresh.
         self._is_eligible.append(False)
         self._all_fast = fast and self._all_fast
         self._uniform_batch_cap = min(self._batch_cap) == max(self._batch_cap)
+        if not fast:
+            self._slow_all.append(index)
+        self._heap_limit = 4 * len(self._fast) + 64
+        # Token-load mirror: safe only when the probe is the stock
+        # ServingEngine method, so the engine's load-change notifications
+        # are guaranteed to cover every mutation the probe can observe.
+        token_fast = (
+            fast
+            and type(engine).in_flight_token_load
+            is ServingEngine.in_flight_token_load
+        )
+        self._token_fast.append(token_fast)
+        self._all_token_fast = token_fast and self._all_token_fast
+        if token_fast and self._token_heap is not None:
+            self._token_load.append(engine.in_flight_token_load())
+            engine.on_load_change(
+                lambda _i=index: self._on_token_load_change(_i))
+        else:
+            self._token_load.append(0.0)
+        # Residency index for the affinity policies: mirror every
+        # transition into RESIDENT (the ready callback is the only one).
+        if self._count_heap is not None and self.policy != "least_loaded":
+            manager = getattr(engine, "adapter_manager", None)
+            register = getattr(manager, "on_ready", None)
+            if callable(register):
+                register(lambda aid, _i=index: self._note_resident(_i, aid))
+                for aid, entry in getattr(manager, "entries", {}).items():
+                    if entry.state is AdapterState.RESIDENT:
+                        self._note_resident(index, aid)
 
     def _refresh_eligible(self) -> None:
         """Recompute the dispatch-eligibility caches (same order as the
-        ``accepts_work`` sweep they replace: ascending replica index)."""
+        ``accepts_work`` sweep they replace: ascending replica index).
+
+        Lifecycle and stall transitions are the only triggers, so this is
+        also where every O(1) fleet counter (active/fleet/holding/failed,
+        the autoscaler's per-tick reads) and every dispatch index is
+        rebuilt from scratch — an O(n) sweep per *transition* instead of
+        per tick or per arrival."""
         self._eligible = [h.index for h in self.handles if h.accepts_work]
         self._is_eligible = [False] * len(self.engines)
         self._slow_eligible = []
         n_unsat = 0
+        sum_eligible = 0
         for idx in self._eligible:
             self._is_eligible[idx] = True
             if self._fast[idx]:
+                sum_eligible += self._inflight[idx]
                 if self._inflight[idx] < self._batch_cap[idx]:
                     n_unsat += 1
             else:
                 self._slow_eligible.append(idx)
         self._n_fast_unsat = n_unsat
+        self._sum_eligible_inflight = sum_eligible
+        # O(1) fleet-composition counters (ascending-index sweeps, same
+        # membership as the per-call scans they replace).
+        n_active = n_in_fleet = n_holding = n_failed = 0
+        active: list[int] = []
+        serving: list[int] = []
+        for handle in self.handles:
+            if handle.is_active:
+                n_active += 1
+                active.append(handle.index)
+            if handle.is_active or handle.is_draining:
+                serving.append(handle.index)
+            if handle.in_fleet:
+                n_in_fleet += 1
+            if handle.is_failed:
+                n_failed += 1
+            elif not handle.is_retired:
+                n_holding += 1
+        self._n_active = n_active
+        self._n_in_fleet = n_in_fleet
+        self._n_holding = n_holding
+        self._n_failed = n_failed
+        self._active_cache = active
+        self._serving_cache = serving
+        # Rebuild the dispatch indices over the new membership.
+        self._heap_limit = 4 * len(self.engines) + 64
+        inflight = self._inflight
+        if self._count_heap is not None:
+            self._count_heap.rebuild(
+                (inflight[i], i) for i in self._eligible if self._fast[i])
+        if self._token_heap is not None:
+            token = self._token_load
+            for i in self._eligible:  # self-correcting: re-probe live
+                if self._token_fast[i]:
+                    token[i] = self.engines[i].in_flight_token_load()
+            self._token_heap.rebuild(
+                (token[i], i) for i in self._eligible if self._token_fast[i])
+        if self._unsat_bits is not None:
+            fast, cap = self._fast, self._batch_cap
+            self._unsat_bits = SelectableBitset(
+                self._is_eligible[i] and fast[i] and inflight[i] < cap[i]
+                for i in range(len(self.engines)))
 
     def _count(self, idx: int) -> int:
         """In-flight request count of engine ``idx`` (cached when safe;
@@ -373,7 +496,9 @@ class DataParallelCluster:
         """Re-read engine ``idx``'s true in-flight count after a bulk move
         (crash evacuation, drain migration) that bypassed submit/finish."""
         if self._fast[idx]:
+            stale = self._inflight[idx]
             self._inflight[idx] = self.engines[idx].in_flight_count()
+            self._total_inflight += self._inflight[idx] - stale
             self._refresh_eligible()  # the saturation count may have moved
 
     def _recompute_weights(self) -> None:
@@ -385,7 +510,10 @@ class DataParallelCluster:
         otherwise they are the spec-derived probes captured at registration.
         A static homogeneous fleet keeps every weight at exactly 1.0.
         """
-        active = [h.index for h in self.handles if h.is_active]
+        # The active set only moves on lifecycle transitions, which all
+        # refresh the cache before landing here — estimator-driven calls
+        # (one per finish sample) reuse it instead of sweeping the fleet.
+        active = self._active_cache
         self._capability = [1.0] * len(self.engines)
         self._uniform_caps = True  # routing may skip the division entirely
         if not active or not self.normalize_capability:
@@ -419,9 +547,7 @@ class DataParallelCluster:
         released when a replica activates.
         """
         self.stats.arrivals += 1
-        can_submit = self._has_available() and not (
-            self.backpressure and (self._queue or self._all_saturated()))
-        if can_submit:
+        if self.can_admit():
             return self._submit(request)
         # The arrival must wait: consult the SLO policy before the FIFO
         # lane commits capacity to a request that cannot meet its deadline.
@@ -444,6 +570,16 @@ class DataParallelCluster:
         self.stats.queued += 1
         self._drain()
         return None
+
+    def can_admit(self) -> bool:
+        """True when an arrival offered right now would be submitted to an
+        engine immediately (no queueing, no shed): some replica is eligible
+        and, under backpressure, nothing is already waiting and not every
+        eligible replica is saturated.  O(1) on a stock fleet — the region
+        router calls this per arrival to decide spills, and the
+        work-stealing loop calls it per steal."""
+        return self._has_available() and not (
+            self.backpressure and (self._queue or self._all_saturated()))
 
     def estimated_queue_wait(self) -> float:
         """Predicted queue wait of the next FIFO arrival, in seconds.
@@ -499,38 +635,48 @@ class DataParallelCluster:
         # provisioning/warming replicas have not joined yet, draining ones
         # accept nothing new, stalled ones are mid-fault, and failed ones
         # are gone.
-        candidates = self._eligible
-        if self.backpressure:
-            # Never force-feed a saturated engine while another has room —
-            # that is the exact failure mode the global queue exists to
-            # prevent (matters for routing policies that don't follow load).
-            # Skip the filter when the caches prove every candidate has
-            # headroom (the common case on an unloaded stock fleet), or when
-            # it provably cannot change the pick: JSQ over a homogeneous
-            # fleet (shared batch cap, uniform capability) lands on an
-            # unsaturated engine by itself whenever one exists — the minimum
-            # count is below the shared cap.
-            if (self.policy == "least_loaded" and self._all_fast
-                    and self._uniform_batch_cap and self._uniform_caps):
-                pass
-            elif self._n_fast_unsat != len(candidates) or self._slow_eligible:
-                if self._all_fast:
-                    inflight, cap = self._inflight, self._batch_cap
-                    unsaturated = [
-                        i for i in candidates if inflight[i] < cap[i]
-                    ]
-                else:
-                    unsaturated = [
-                        i for i in candidates if not self._saturated_at(i)
-                    ]
-                if unsaturated:
-                    candidates = unsaturated
-        idx = self._pick(request, candidates)
+        idx = self._pick_indexed(request) if self._index_active() else None
+        if idx is None:
+            candidates = self._eligible
+            if self.backpressure:
+                # Never force-feed a saturated engine while another has room
+                # — that is the exact failure mode the global queue exists to
+                # prevent (matters for routing policies that don't follow
+                # load).  Skip the filter when the caches prove every
+                # candidate has headroom (the common case on an unloaded
+                # stock fleet), or when it provably cannot change the pick:
+                # JSQ over a homogeneous fleet (shared batch cap, uniform
+                # capability) lands on an unsaturated engine by itself
+                # whenever one exists — the minimum count is below the
+                # shared cap.
+                if (self.policy == "least_loaded" and self._all_fast
+                        and self._uniform_batch_cap and self._uniform_caps):
+                    pass
+                elif self._n_fast_unsat != len(candidates) or self._slow_eligible:
+                    if self._all_fast:
+                        inflight, cap = self._inflight, self._batch_cap
+                        unsaturated = [
+                            i for i in candidates if inflight[i] < cap[i]
+                        ]
+                    else:
+                        unsaturated = [
+                            i for i in candidates if not self._saturated_at(i)
+                        ]
+                    if unsaturated:
+                        candidates = unsaturated
+            idx = self._pick(request, candidates)
         self.engines[idx].submit(request)
         self._inflight[idx] += 1
-        if (self._fast[idx] and self._is_eligible[idx]
-                and self._inflight[idx] == self._batch_cap[idx]):
-            self._n_fast_unsat -= 1  # just became saturated
+        if self._fast[idx]:
+            self._total_inflight += 1
+            if self._is_eligible[idx]:
+                self._sum_eligible_inflight += 1
+                if self._inflight[idx] == self._batch_cap[idx]:
+                    self._n_fast_unsat -= 1  # just became saturated
+                    if self._unsat_bits is not None:
+                        self._unsat_bits.set(idx, False)
+            if self._count_heap is not None:
+                self._push_count(idx)
         self.stats.dispatched += 1
         return idx
 
@@ -539,9 +685,16 @@ class DataParallelCluster:
         self.stats.finishes += 1
         idx = handle.index
         self._inflight[idx] -= 1
-        if (self._fast[idx] and self._is_eligible[idx]
-                and self._inflight[idx] == self._batch_cap[idx] - 1):
-            self._n_fast_unsat += 1  # just regained headroom
+        if self._fast[idx]:
+            self._total_inflight -= 1
+            if self._is_eligible[idx]:
+                self._sum_eligible_inflight -= 1
+                if self._inflight[idx] == self._batch_cap[idx] - 1:
+                    self._n_fast_unsat += 1  # just regained headroom
+                    if self._unsat_bits is not None:
+                        self._unsat_bits.set(idx, True)
+            if self._count_heap is not None:
+                self._push_count(idx)
         if self._last_finish_time is None:
             self._last_finish_time = now
             self._finish_batch = 1
@@ -570,6 +723,7 @@ class DataParallelCluster:
         if handle.is_draining and self._count(handle.index) == 0:
             self._retire(handle)
         self._drain()
+        self._notify_capacity()
 
     def _drain(self) -> None:
         while self._queue and not self._all_saturated():
@@ -798,6 +952,7 @@ class DataParallelCluster:
             (self._now(), handle.index, handle.state.value))
         self._refresh_eligible()
         self._drain()  # the survivor can absorb queued work immediately
+        self._notify_capacity()
 
     def _migrate(self, requests, from_index: int) -> None:
         """Re-offer evacuated requests to the dispatcher, in evacuation
@@ -841,6 +996,7 @@ class DataParallelCluster:
         self._log_transition(handle)
         self._recompute_weights()
         self._drain()  # the newcomer can absorb queued work immediately
+        self._notify_capacity()
 
     def _retire(self, handle) -> None:
         handle.retire(self._now())
@@ -854,16 +1010,22 @@ class DataParallelCluster:
 
     def active_indices(self) -> list:
         """Engine indices currently in the dispatch set."""
-        return [handle.index for handle in self.handles if handle.is_active]
+        return list(self._active_cache)
+
+    def serving_indices(self) -> list:
+        """Engine indices currently serving work (ACTIVE or DRAINING,
+        ascending) — the autoscaler's throughput denominator, cached at
+        each lifecycle transition like :meth:`active_indices`."""
+        return list(self._serving_cache)
 
     def active_count(self) -> int:
-        return sum(1 for handle in self.handles if handle.is_active)
+        return self._n_active
 
     def fleet_size(self) -> int:
         """Replicas counted against the autoscaler's *floor*: provisioning,
         warming and active (draining replicas are already on their way out
         and must not satisfy ``min_replicas``)."""
-        return sum(1 for handle in self.handles if handle.in_fleet)
+        return self._n_in_fleet
 
     def holding_count(self) -> int:
         """Replicas currently holding a GPU: everything not yet retired or
@@ -871,8 +1033,91 @@ class DataParallelCluster:
         ``max_replicas`` ceiling and peak-fleet accounting must bound, since
         a draining replica is still being billed until its last finish (a
         failed replica's GPU is gone the moment it dies)."""
-        return sum(1 for handle in self.handles
-                   if not (handle.is_retired or handle.is_failed))
+        return self._n_holding
+
+    def failed_count(self) -> int:
+        """Replicas in the terminal FAILED state (crash faults), counted at
+        each lifecycle transition — the self-healing autoscaler reads this
+        every tick, so it must not cost a fleet sweep."""
+        return self._n_failed
+
+    def has_pending_work(self) -> bool:
+        """True while any request is in flight on a live replica or waiting
+        in a cluster queue — the autoscaler's scale-in guard.  O(1) on a
+        stock fleet via the cluster-wide in-flight counter (retired replicas
+        drained to zero and failed ones were evacuated, so the fleet total
+        *is* the live total); only engines with overridden probes (test
+        fakes) are probed live."""
+        if self._total_inflight > 0 or self._queue or self._low_queue:
+            return True
+        for idx in self._slow_all:
+            handle = self.handles[idx]
+            if not (handle.is_retired or handle.is_failed) \
+                    and self._count(idx) > 0:
+                return True
+        return False
+
+    def total_in_flight(self) -> int:
+        """Requests currently in flight across every live replica — the
+        region router's spill-target load probe.  O(1) on a stock fleet via
+        the cluster-wide counter; only engines with overridden probes (test
+        fakes) are probed live."""
+        total = self._total_inflight
+        for idx in self._slow_all:
+            handle = self.handles[idx]
+            if not (handle.is_retired or handle.is_failed):
+                total += self._count(idx)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Region hooks (cross-shard work stealing; see serving.region)
+    # ------------------------------------------------------------------ #
+    def on_capacity(self, callback) -> None:
+        """Register a zero-argument hook fired whenever a capacity-freeing
+        event (finish, replica activation, stall end) leaves this cluster
+        able to admit immediately (:meth:`can_admit`).  The region router
+        uses it to steal queued work from backlogged sibling shards the
+        moment this shard has room; a standalone cluster registers nothing
+        and pays nothing."""
+        self._capacity_callbacks.append(callback)
+
+    def _notify_capacity(self) -> None:
+        if self._capacity_callbacks and self.can_admit():
+            for callback in self._capacity_callbacks:
+                callback()
+
+    def donate_queued(self):
+        """Pop the oldest queued request for a sibling shard to serve
+        (FIFO lane first; the deprioritized lane only when the FIFO lane is
+        empty, mirroring local drain order).  Returns the ``(request,
+        enqueue_time)`` entry, or ``None`` when nothing is waiting.  The
+        enqueue timestamp travels with the request so the receiving shard
+        stamps the *full* cross-shard queue delay."""
+        if self._queue:
+            entry = self._queue.popleft()
+        elif self._low_queue:
+            entry = self._low_queue.popleft()
+        else:
+            return None
+        self.stats.donated += 1
+        return entry
+
+    def accept_stolen(self, entry) -> int:
+        """Admit a queue entry donated by a sibling shard (see
+        :meth:`donate_queued`): stamp its accumulated queue delay exactly
+        as a local release would, then submit it here.  The caller must
+        have checked :meth:`can_admit` first.  Returns the engine index."""
+        request, enqueued_at = entry
+        self.stats.stolen += 1
+        delay = self._now() - enqueued_at
+        request.dispatch_queue_delay += delay
+        self.stats.queue_delays.append(delay)
+        return self._submit(request)
+
+    def raw_capability(self, index: int) -> float:
+        """One engine's unnormalized capability probe (see
+        :meth:`raw_capabilities`; avoids copying the whole list per read)."""
+        return self._caps_raw[index]
 
     def replica_seconds(self, now: Optional[float] = None) -> float:
         """Total resource-time consumed by the fleet so far, in
@@ -902,6 +1147,205 @@ class DataParallelCluster:
         if self._fast[idx]:
             return self._inflight[idx] / self._capability[idx]
         return self.engines[idx].in_flight_count() / self._capability[idx]
+
+    # ------------------------------------------------------------------ #
+    # O(log n) dispatch indices
+    # ------------------------------------------------------------------ #
+    def _index_active(self) -> bool:
+        """True when the per-policy dispatch index provably reproduces the
+        linear scan bit-for-bit, so `_submit` may use it.
+
+        The common requirement is an all-stock fleet (``_all_fast``): the
+        indices are built over the cached counters, which only mirror
+        unmodified ``ServingEngine`` probes.  Load-comparing policies
+        additionally need uniform capability weights and a shared batch cap
+        — dividing a counter by exactly 1.0 is the identity, so cached
+        integer loads, their sums and the heap tie-break ``(load, index)``
+        reproduce the scan's floats and first-minimum ties exactly; any
+        heterogeneity (mixed specs, estimator-driven weights, mixed batch
+        caps) falls back to the scan.  Token-weighted and the affinity
+        policies also need backpressure, which bounds every count at its
+        batch cap — the invariant behind the saturated-sum shortcut and
+        the discard-and-repush heap maintenance.
+        """
+        if not (self._use_index and self._all_fast):
+            return False
+        policy = self.policy
+        if policy == "round_robin" or policy == "p2c":
+            return True
+        if not (self._uniform_caps and self._uniform_batch_cap):
+            return False
+        if policy == "least_loaded":
+            return True
+        if policy == "token_weighted":
+            return self.backpressure and self._all_token_fast
+        return self.backpressure  # adapter_affinity / bounded_affinity
+
+    def _pick_indexed(self, request) -> Optional[int]:
+        """Index-backed replica pick, bit-for-bit equal to
+        ``_pick(request, <filtered candidates>)`` under the `_index_active`
+        preconditions.  Returns ``None`` to fall back to the scan (only
+        reachable defensively — e.g. an empty index).
+
+        ``filtered`` mirrors `_submit`'s saturation filter without
+        materializing the candidate list: the filter fires iff backpressure
+        is on and *some but not all* eligible replicas have headroom, and
+        the early single-candidate return uses the matching count.
+        """
+        eligible = self._eligible
+        n_eligible = len(eligible)
+        if not n_eligible:
+            return None
+        policy = self.policy
+        n_unsat = self._n_fast_unsat
+        filtered = self.backpressure and 0 < n_unsat < n_eligible
+        inflight = self._inflight
+        if policy == "least_loaded":
+            # The scan never filters here (the minimum count is below the
+            # shared cap whenever any replica has headroom).
+            assert self._count_heap is not None
+            return self._count_heap.peek(inflight, self._is_eligible)
+        if policy == "round_robin":
+            assert self._unsat_bits is not None
+            if filtered:
+                if n_unsat == 1:  # scan's len==1 return skips the rr walk
+                    return self._unsat_bits.kth(0)
+            elif n_eligible == 1:
+                return eligible[0]
+            n = len(self.engines)
+            cap = self._batch_cap
+            is_eligible = self._is_eligible
+            for _ in range(n):
+                idx = self._rr_next
+                self._rr_next = (self._rr_next + 1) % n
+                if is_eligible[idx] and (
+                        not filtered or inflight[idx] < cap[idx]):
+                    return idx
+            return None  # unreachable: some replica is eligible
+        if policy == "p2c":
+            assert self._unsat_bits is not None
+            if filtered:
+                if n_unsat == 1:  # scan's len==1 return consumes no RNG
+                    return self._unsat_bits.kth(0)
+                a, b = self._rng.choice(n_unsat, size=2, replace=False)
+                i = self._unsat_bits.kth(int(a))
+                j = self._unsat_bits.kth(int(b))
+            else:
+                if n_eligible == 1:
+                    return eligible[0]
+                a, b = self._rng.choice(n_eligible, size=2, replace=False)
+                i, j = eligible[int(a)], eligible[int(b)]
+            load_i, load_j = self._load(i), self._load(j)
+            if load_i == load_j:
+                return min(i, j)
+            return i if load_i < load_j else j
+        if policy == "token_weighted":
+            assert self._token_heap is not None
+            if filtered:
+                return self._token_heap.peek_unsaturated(
+                    self._token_load, self._is_eligible,
+                    inflight, self._batch_cap)
+            return self._token_heap.peek(self._token_load, self._is_eligible)
+        # adapter_affinity / bounded_affinity
+        count_heap = self._count_heap
+        assert count_heap is not None
+        if filtered:
+            if n_unsat == 1:  # the one unsaturated replica is the count-min
+                return count_heap.peek(inflight, self._is_eligible)
+        elif n_eligible == 1:
+            return eligible[0]
+        adapter_id = request.adapter_id
+        if adapter_id is not None:
+            resident = self._resident.get(adapter_id)
+            if resident:
+                cap = self._batch_cap
+                is_eligible = self._is_eligible
+                best = -1
+                best_load = 0
+                evicted: list[int] = []
+                for i in resident:  # ascending: first minimum wins ties
+                    if not is_eligible[i]:
+                        continue  # may rejoin later; keep the entry
+                    if not self.engines[i].adapter_manager.is_resident(
+                            adapter_id):
+                        evicted.append(i)  # stale superset entry
+                        continue
+                    if filtered and inflight[i] >= cap[i]:
+                        continue
+                    if best < 0 or inflight[i] < best_load:
+                        best, best_load = i, inflight[i]
+                for i in evicted:
+                    resident.remove(i)
+                if not resident:
+                    del self._resident[adapter_id]
+                if best >= 0:
+                    if self.policy == "adapter_affinity":
+                        return best
+                    # Bounded affinity: the scan's mean load over the
+                    # candidates, from the integer sums — with backpressure
+                    # every saturated count equals the shared cap, so the
+                    # unsaturated sum is the eligible sum minus the
+                    # saturated mass.
+                    if filtered:
+                        shared_cap = cap[eligible[0]]
+                        total = self._sum_eligible_inflight - \
+                            (n_eligible - n_unsat) * shared_cap
+                        denom = n_unsat
+                    else:
+                        total = self._sum_eligible_inflight
+                        denom = n_eligible
+                    bound = self.spill_factor * max(1.0, total / denom)
+                    if best_load <= bound:
+                        return best
+                    spill_to = count_heap.peek(inflight, self._is_eligible)
+                    if spill_to is None:
+                        return None  # fall back before mutating stats
+                    self.stats.spills += 1  # affine replica too hot
+                    return spill_to
+        return count_heap.peek(inflight, self._is_eligible)
+
+    def _push_count(self, idx: int) -> None:
+        """Record engine ``idx``'s new request count in the count heap,
+        compacting (rebuild over the eligible set) once lazy deletions have
+        let the heap grow past ~4x the fleet — O(1) amortized."""
+        heap = self._count_heap
+        assert heap is not None
+        if len(heap) >= self._heap_limit:
+            inflight, fast = self._inflight, self._fast
+            heap.rebuild(
+                (inflight[i], i) for i in self._eligible if fast[i])
+        else:
+            heap.push(self._inflight[idx], idx)
+
+    def _on_token_load_change(self, idx: int) -> None:
+        """Engine load-change hook: mirror the token-load probe and index
+        the new value (token-weighted policy only)."""
+        load = self.engines[idx].in_flight_token_load()
+        token = self._token_load
+        if load == token[idx]:
+            return
+        token[idx] = load
+        if not self._is_eligible[idx]:
+            return  # `_refresh_eligible` re-indexes it if it rejoins
+        heap = self._token_heap
+        assert heap is not None
+        if len(heap) >= self._heap_limit:
+            token_fast = self._token_fast
+            heap.rebuild(
+                (token[i], i) for i in self._eligible if token_fast[i])
+        else:
+            heap.push(load, idx)
+
+    def _note_resident(self, idx: int, adapter_id: int) -> None:
+        """Adapter-manager ready hook: adapter ``adapter_id`` just became
+        resident on engine ``idx`` (affinity policies only)."""
+        entries = self._resident.get(adapter_id)
+        if entries is None:
+            self._resident[adapter_id] = [idx]
+            return
+        pos = bisect_left(entries, idx)
+        if pos == len(entries) or entries[pos] != idx:
+            entries.insert(pos, idx)
 
     def _pick(self, request, candidates: Optional[list] = None) -> int:
         """Pick an engine index among ``candidates`` (default: active set)."""

@@ -24,6 +24,12 @@ from repro.serving.replica import (
     ReplicaHandle,
     ReplicaState,
 )
+from repro.serving.region import (
+    RegionConfig,
+    RegionStats,
+    ServingRegion,
+    SharedGpuBudget,
+)
 
 __all__ = [
     "MultiReplicaSystem",
@@ -44,4 +50,8 @@ __all__ = [
     "SloraAdapterManager",
     "EngineConfig",
     "ServingEngine",
+    "ServingRegion",
+    "RegionConfig",
+    "RegionStats",
+    "SharedGpuBudget",
 ]

@@ -50,6 +50,7 @@ dependency graph acyclic (``replica`` -> ``autoscaler``, never back).
 from __future__ import annotations
 
 import math
+from bisect import insort
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
@@ -218,11 +219,21 @@ class Autoscaler:
     """
 
     def __init__(self, sim, cluster, config: AutoscaleConfig,
-                 provision: Callable[..., Any]) -> None:
+                 provision: Callable[..., Any], *,
+                 budget: Any = None, budget_key: int = 0) -> None:
         self.sim = sim
         self.cluster = cluster
         self.config = config
         self._provision = provision
+        #: Optional region-wide GPU budget (duck-typed: ``report(key, n)``
+        #: and ``available()``; see ``serving.region.SharedGpuBudget``).
+        #: Scale-out room becomes the min of ``max_replicas`` and what the
+        #: shared pool has left; holdings are re-reported every tick so
+        #: GPUs freed by retirement/failure return to the pool within one
+        #: control period.  ``None`` (the default) is the historic
+        #: unshared behaviour, bit for bit.
+        self._budget = budget
+        self._budget_key = budget_key
         #: Full scale-event log: time, action, replica indices, fleet size
         #: after the event, and the signal values that triggered it.
         self.events: list[dict] = []
@@ -266,6 +277,9 @@ class Autoscaler:
         self._scale_out_cap: Optional[float] = None
         #: Crashed replicas already seen (and replaced) by self-healing.
         self._failures_seen = 0
+        #: Lifecycle-log read position for `_serving_handles` (entries
+        #: before it were already credited to a previous tick window).
+        self._log_cursor = 0
         self._until: Optional[float] = None
         self._tick_event = None
 
@@ -294,6 +308,11 @@ class Autoscaler:
     def _tick(self) -> None:
         self._tick_event = None
         self.ticks += 1
+        if self._budget is not None:
+            # Refresh this shard's claim on the shared pool before any
+            # decision: GPUs freed since the last tick become available to
+            # sibling shards' controllers immediately.
+            self._budget.report(self._budget_key, self.cluster.holding_count())
         self._evaluate()
         self.peak_fleet = max(self.peak_fleet, self.cluster.holding_count())
         if self._should_continue():
@@ -306,6 +325,11 @@ class Autoscaler:
         return self._pending_work()
 
     def _pending_work(self) -> bool:
+        # O(1) against a cluster exposing the fleet-wide in-flight counter
+        # (PR 8); the sweep below stays for duck-typed test fakes.
+        probe = getattr(self.cluster, "has_pending_work", None)
+        if callable(probe):
+            return bool(probe())
         if self.cluster.queue_len() > 0:
             return True
         return any(handle.in_flight() > 0 for handle in self.cluster.handles
@@ -348,8 +372,10 @@ class Autoscaler:
         # "sustaining" it is a tick of elevated shed.  Fault-free fleets
         # never observe a FAILED handle, so this path is inert for them.
         if cfg.self_heal:
-            failed = sum(1 for handle in self.cluster.handles
-                         if getattr(handle, "is_failed", False))
+            failed_probe = getattr(self.cluster, "failed_count", None)
+            failed = failed_probe() if callable(failed_probe) else sum(
+                1 for handle in self.cluster.handles
+                if getattr(handle, "is_failed", False))
             if failed > self._failures_seen:
                 self._heal(failed - self._failures_seen,
                            shed_rate, queue_wait, utilization)
@@ -544,20 +570,7 @@ class Autoscaler:
         :meth:`_scale_out_deficit`).
         """
         tick_start = self.sim.now - dt
-
-        def ended_mid_tick(handle) -> bool:
-            if handle.active_at is None:
-                return False  # never served: nothing to credit
-            if handle.is_retired:
-                return handle.retired_at > tick_start
-            if getattr(handle, "is_failed", False):
-                return handle.failed_at > tick_start
-            return False
-
-        serving = [
-            handle for handle in self.cluster.handles
-            if handle.is_active or handle.is_draining
-            or ended_mid_tick(handle)]
+        serving = self._serving_handles(tick_start)
         if d_finishes <= 0 or dt <= 0 or not serving:
             return
         rate = d_finishes / dt / len(serving)
@@ -572,6 +585,48 @@ class Autoscaler:
                 if self._peak_rate_per_cap is None \
                         or per_cap > self._peak_rate_per_cap:
                     self._peak_rate_per_cap = per_cap
+
+    def _serving_handles(self, tick_start: float) -> list:
+        """Handles credited with this tick window's finishes (ascending
+        index): the ACTIVE/DRAINING cache, plus replicas that retired or
+        failed *within* the window after serving.
+
+        Against a cluster exposing ``serving_indices`` and a
+        ``lifecycle_log`` this is O(serving + transitions-this-tick): the
+        cache answers the live set, and the log entries since the previous
+        tick (a cursor, not a sweep) surface the mid-tick exits.  Clusters
+        without the caches — duck-typed test fakes — keep the full fleet
+        sweep, bit for bit.
+        """
+        handles = self.cluster.handles
+        cache_fn = getattr(self.cluster, "serving_indices", None)
+        log = getattr(self.cluster, "lifecycle_log", None)
+        if not callable(cache_fn) or log is None:
+            def ended_mid_tick(handle) -> bool:
+                if handle.active_at is None:
+                    return False  # never served: nothing to credit
+                if handle.is_retired:
+                    return handle.retired_at > tick_start
+                if getattr(handle, "is_failed", False):
+                    return handle.failed_at > tick_start
+                return False
+
+            return [
+                handle for handle in handles
+                if handle.is_active or handle.is_draining
+                or ended_mid_tick(handle)]
+        indices = cache_fn()
+        ended = [
+            index for time, index, state in log[self._log_cursor:]
+            if time > tick_start and state in ("retired", "failed")
+            and handles[index].active_at is not None]
+        self._log_cursor = len(log)
+        if ended:
+            # Terminal states are disjoint from the serving cache, so the
+            # merge is duplicate-free; sorting restores the ascending-index
+            # order the legacy sweep summed capabilities in.
+            indices = sorted(indices + ended)
+        return [handles[index] for index in indices]
 
     def _per_replica_service_rate(self) -> Optional[float]:
         """Demonstrated per-replica service capacity, or ``None`` before
@@ -588,11 +643,19 @@ class Autoscaler:
         return self._peak_service_rate
 
     def _utilization(self) -> float:
-        """Mean batch-fill fraction across active replicas (0 when none)."""
+        """Mean batch-fill fraction across active replicas (0 when none).
+
+        O(active) against a cluster exposing the ``active_indices`` cache
+        (the sweep it replaces walked every handle ever built, retired and
+        failed included, every tick); duck-typed fakes keep the sweep.
+        """
+        indices_fn = getattr(self.cluster, "active_indices", None)
+        if callable(indices_fn):
+            handles = [self.cluster.handles[i] for i in indices_fn()]
+        else:
+            handles = [h for h in self.cluster.handles if h.is_active]
         fractions = []
-        for handle in self.cluster.handles:
-            if not handle.is_active:
-                continue
+        for handle in handles:
             in_flight = handle.in_flight()
             capacity = self._batch_capacity(handle.engine)
             if capacity:
@@ -612,6 +675,18 @@ class Autoscaler:
     # ------------------------------------------------------------------ #
     # Actions
     # ------------------------------------------------------------------ #
+    def _room(self, max_replicas: int) -> int:
+        """GPUs this controller may still acquire: the per-shard ceiling
+        over held GPUs, intersected with the shared region budget when one
+        is attached (reporting current holdings first, so a stale claim
+        never blocks the pool's own owner)."""
+        holding = self.cluster.holding_count()
+        room = max_replicas - holding
+        if self._budget is not None:
+            self._budget.report(self._budget_key, holding)
+            room = min(room, self._budget.available())
+        return room
+
     def _provision_replicas(self, want: int) -> list:
         """Provision up to ``want`` replicas and run the shared scale-out
         bookkeeping; returns the new replica indices ([] when the holding
@@ -623,9 +698,15 @@ class Autoscaler:
         also restarts the idle streak: one more idle tick could otherwise
         trigger a scale-in that cancels the still-cold replicas just
         provisioned (scale-in victimizes cold replicas first).
+
+        Under a shared region budget, room is additionally capped by what
+        the pool has left after every sibling shard's holdings — and the
+        claim is re-reported immediately after provisioning, so two shards
+        scaling out in the same control period cannot both spend the last
+        GPU.
         """
         cfg = self.config
-        room = cfg.max_replicas - self.cluster.holding_count()
+        room = self._room(cfg.max_replicas)
         count = min(want, room)
         if count <= 0:
             return []
@@ -637,6 +718,8 @@ class Autoscaler:
                 warmup_delay=cfg.warmup_delay,
             )
             added.append(handle.index)
+        if self._budget is not None:
+            self._budget.report(self._budget_key, self.cluster.holding_count())
         self.scale_out_count += 1
         self._pressure_ticks = 0
         self._idle_ticks = 0
@@ -660,12 +743,12 @@ class Autoscaler:
         streak (the crash does not erase the shed the controller was
         watching).  It does reset the idle streak — the replacements are
         cold, and an immediate scale-in would victimize exactly them.
-        Bounded by ``max_replicas`` over *held* GPUs; capacity that cannot
-        be replaced here is re-acquired by the reactive path under
-        pressure.
+        Bounded by ``max_replicas`` over *held* GPUs (and the shared region
+        budget, when one is set); capacity that cannot be replaced here is
+        re-acquired by the reactive path under pressure.
         """
         cfg = self.config
-        room = cfg.max_replicas - self.cluster.holding_count()
+        room = self._room(cfg.max_replicas)
         n = min(count, room)
         if n <= 0:
             return
@@ -677,6 +760,8 @@ class Autoscaler:
                 warmup_delay=cfg.warmup_delay,
             )
             added.append(handle.index)
+        if self._budget is not None:
+            self._budget.report(self._budget_key, self.cluster.holding_count())
         self.self_heal_count += 1
         self._idle_ticks = 0
         self._record("self_heal", added, shed_rate, queue_wait, utilization,
@@ -780,12 +865,22 @@ class ObservedCapabilityEstimator:
         self._samples: dict[int, int] = {}
         self._last_finish: dict[int, Optional[float]] = {}
         self._batch: dict[int, int] = {}
+        #: Indices with at least one rate sample, ascending — the
+        #: calibration sum in :meth:`weights` iterates this instead of
+        #: scanning every replica ever registered.  Ascending order matches
+        #: the legacy full-scan dict order (priors register in index
+        #: order), so the float sums are bit-identical.
+        self._sampled: list[int] = []
 
     def register(self, index: int, spec_capability: float) -> None:
         """Add a replica with its spec-derived prior (arbitrary units)."""
         if spec_capability <= 0:
             raise ValueError(
                 f"spec capability must be > 0, got {spec_capability}")
+        if self._rate.get(index) is not None:
+            # Re-registration resets the history; drop the stale sample
+            # marker so the calibration sum does not read a None rate.
+            self._sampled.remove(index)
         self._prior[index] = float(spec_capability)
         self._rate[index] = None
         self._samples[index] = 0
@@ -815,6 +910,7 @@ class ObservedCapabilityEstimator:
             prev = self._rate[index]
             if prev is None:
                 self._rate[index] = instantaneous
+                insort(self._sampled, index)
             else:
                 self._rate[index] = \
                     (1.0 - weight) * prev + weight * instantaneous
@@ -836,19 +932,24 @@ class ObservedCapabilityEstimator:
 
     def weights(self, indices) -> dict[int, float]:
         """Relative routing weights for ``indices`` (one pass, uncalibrated
-        scale — the cluster renormalizes to mean 1.0 over the active set)."""
-        rates = {i: self.observed_rate(i) for i in self._prior}
-        known = {i: r for i, r in rates.items() if r is not None}
-        if known:
-            calibration = sum(known.values()) \
-                / sum(self._prior[i] for i in known)
+        scale — the cluster renormalizes to mean 1.0 over the active set).
+
+        O(sampled + len(indices)): the calibration ratio sums over the
+        ``_sampled`` index list rather than sweeping every replica ever
+        registered (this runs on every finish-driven weight refresh, so a
+        full-history scan would grow with fleet churn, not fleet size).
+        """
+        sampled = self._sampled
+        if sampled:
+            calibration = sum(self._rate[i] for i in sampled) \
+                / sum(self._prior[i] for i in sampled)
         else:
             calibration = None
         out: dict[int, float] = {}
         for i in indices:
             prior = self._prior[i]
             prior_rate = calibration * prior if calibration is not None else prior
-            rate = rates.get(i)
+            rate = self._rate.get(i)
             if rate is None:
                 out[i] = prior_rate
             else:

@@ -124,6 +124,7 @@ class ServingEngine:
         self._running: list[Request] = []
         self._pending_load: list[Request] = []
         self._finish_callbacks: list = []
+        self._load_callbacks: list = []
         self._iteration_event = None
         self._last_decode_step_time = 0.02  # seed for release-time estimates
         self._pending_stall = 0.0           # engine time owed to adapter copies
@@ -209,6 +210,25 @@ class ServingEngine:
         """
         self._finish_callbacks.append(callback)
 
+    def on_load_change(self, callback) -> None:
+        """Register a hook fired whenever this engine's in-flight token
+        load may have changed (submission, iteration progress, adapter
+        promotion, squash, crash evacuation).
+
+        The token-weighted dispatch index uses this to mirror
+        :meth:`in_flight_token_load` into a cluster-side cache: token loads
+        drift as tokens generate, so without a change notification every
+        dispatch probe would have to walk the batch live.  The hook fires
+        *after* the engine's state is consistent — a callback reading
+        :meth:`in_flight_token_load` sees the post-event value.  Engines
+        with no registered callback pay one predicate check per event.
+        """
+        self._load_callbacks.append(callback)
+
+    def _notify_load_change(self) -> None:
+        for callback in self._load_callbacks:
+            callback()
+
     def request_rank(self, request: Request) -> Optional[int]:
         if request.adapter_id is None:
             return None
@@ -230,6 +250,8 @@ class ServingEngine:
         self.scheduler.enqueue(request, now)
         self.adapter_manager.on_request_arrival(request)
         self._kick()
+        if self._load_callbacks:
+            self._notify_load_change()
 
     def run_trace(self, requests: Iterable[Request], horizon: Optional[float] = None) -> None:
         """Schedule every request's arrival and run the simulation.
@@ -407,6 +429,8 @@ class ServingEngine:
         self._forget(recoverable)
         for request in lost:
             request.lost = True
+        if self._load_callbacks:
+            self._notify_load_change()
         return recoverable, lost
 
     def _forget(self, requests: list) -> None:
@@ -446,6 +470,8 @@ class ServingEngine:
             request.enqueue_time = None
             request.admit_time = None
         self._forget(evacuated)
+        if self._load_callbacks:
+            self._notify_load_change()
         return evacuated
 
     # ------------------------------------------------------------------ #
@@ -492,6 +518,8 @@ class ServingEngine:
             self._pending_stall += size / stall_bw
         self._promote_ready()
         self._kick()
+        if self._load_callbacks:
+            self._notify_load_change()
 
     def _promote_ready(self) -> None:
         still_waiting = []
@@ -622,6 +650,11 @@ class ServingEngine:
                 r for r in self._running
                 if r.state is not RequestState.FINISHED
             ]
+        # Token loads moved (prefill progress, decode steps, finish removals):
+        # refresh load listeners *before* the finish hooks below, whose queue
+        # drain may route new work based on this engine's load.
+        if self._load_callbacks:
+            self._notify_load_change()
         # Fire finish hooks only after every finish of this iteration is
         # finalized: a hook may submit new work (cluster queue drain), which
         # kicks a fresh iteration — doing that mid-loop would let the new
@@ -632,6 +665,8 @@ class ServingEngine:
                 callback(request)
         self.gpu.maybe_sample(now)
         self._start_iteration()
+        if self._load_callbacks:  # the new iteration may have squashed work
+            self._notify_load_change()
 
     def _finish(self, request: Request, now: float) -> None:
         """Finalize one completed request.  The caller removes it from

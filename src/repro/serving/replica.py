@@ -294,12 +294,16 @@ class MultiReplicaSystem:
         replica_specs: Optional[Sequence] = None,
         normalize_capability: bool = True,
         autoscale: Optional[AutoscaleConfig] = None,
+        autoscale_budget=None,
+        autoscale_budget_key: int = 0,
         capability_estimator="auto",
         fault_schedule=None,
         mttf: Optional[float] = None,
         mttr: Optional[float] = None,
         fault_migrate: bool = True,
         fault_retry_started: bool = True,
+        dispatch_index: bool = True,
+        sim: Optional[Simulator] = None,
         seed: int = 0,
         **build_kwargs,
     ) -> "MultiReplicaSystem":
@@ -340,6 +344,16 @@ class MultiReplicaSystem:
         The fault RNG is its own named stream (``seed`` + ``"faults"``), so
         the fault times never perturb the workload.  With no fault
         arguments, nothing is built and behaviour is bit-for-bit unchanged.
+
+        ``dispatch_index=False`` forces linear-scan dispatch (differential
+        baselines; see ``DataParallelCluster``).  ``sim`` shares an
+        existing clock — a :class:`~repro.serving.region.ServingRegion`
+        builds one system per dispatcher shard on one simulator.
+        ``autoscale_budget`` attaches the autoscaler to a region-wide
+        shared GPU pool (duck-typed ``report(key, n)`` / ``available()``;
+        see ``serving.region.SharedGpuBudget``) under claim key
+        ``autoscale_budget_key``; ``None`` keeps the historic unshared
+        controller bit for bit.
         """
         from repro.systems import build_system  # local import: avoid cycle
 
@@ -381,7 +395,8 @@ class MultiReplicaSystem:
                     build_kwargs.get("n_adapters",
                                      defaults["n_adapters"].default))
         estimator = cls._resolve_estimator(capability_estimator, autoscale)
-        sim = Simulator()
+        if sim is None:
+            sim = Simulator()  # own clock; a region passes its shared one
         factory = ReplicaFactory(preset=preset, sim=sim, seed=seed,
                                  build_kwargs=dict(build_kwargs))
         replicas = []
@@ -398,13 +413,15 @@ class MultiReplicaSystem:
             rng=np.random.default_rng(seed),  # simlint: ignore[D001] -- dispatch RNG byte stream pinned since PR 1; moving it into RngStreams would re-pair every fig26-fig30 baseline
             capability_estimator=estimator,
             sim=sim,
+            dispatch_index=dispatch_index,
         )
         system = cls(replicas=replicas, cluster=cluster, sim=sim,
                      slo_policy=slo_policy, factory=factory)
         if autoscale is not None:
             system.autoscaler = Autoscaler(
                 sim=sim, cluster=cluster, config=autoscale,
-                provision=system.provision_replica)
+                provision=system.provision_replica,
+                budget=autoscale_budget, budget_key=autoscale_budget_key)
         if fault_schedule is not None or mttf is not None:
             from repro.faults import FaultInjector, FaultSchedule
             from repro.sim.rng import RngStreams

@@ -31,6 +31,7 @@ STREAM_REGISTRY: dict[str, str] = {
     "arrivals": "arrival process when sampled separately from the trace",
     "predictor": "output-length predictor hit/miss and error draws",
     "faults": "fault injector: MTTF gaps, target picks, repair windows",
+    "tenants": "multi-tenant labelling: Zipf tenant draws over a trace",
     "engine0": "spawn scope: per-replica stream family for replica 0",
 }
 

@@ -35,6 +35,10 @@ class Request:
         output_tokens: True number of generated tokens (>= 1; unknown to
             schedulers until completion).
         adapter_id: LoRA adapter used, or ``None`` for a base-model request.
+        tenant_id: Owning tenant, or ``None`` when the workload has no
+            tenant structure.  A region router keyed ``shard_key="tenant"``
+            routes on it, pinning each tenant's traffic (and adapter
+            residency) to one dispatcher shard.
         predicted_output_tokens: The proxy predictor's estimate, filled in at
             submission time.
     """
@@ -44,6 +48,7 @@ class Request:
     input_tokens: int
     output_tokens: int
     adapter_id: Optional[int] = None
+    tenant_id: Optional[int] = None
     predicted_output_tokens: Optional[int] = None
 
     # -- engine-side mutable state -------------------------------------- #

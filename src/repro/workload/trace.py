@@ -105,9 +105,33 @@ class Trace:
                 input_tokens=r.input_tokens,
                 output_tokens=r.output_tokens,
                 adapter_id=r.adapter_id,
+                tenant_id=r.tenant_id,
             )
             for r in self.requests
         ]
+
+    def label_tenants(self, n_tenants: int, rng,
+                      skew: float = 1.2) -> "Trace":
+        """Assign a Zipf-skewed ``tenant_id`` to every request, in place.
+
+        Tenant ``t`` gets probability proportional to ``1 / (t+1)**skew``
+        (``skew=0`` is uniform), drawn i.i.d. per request from ``rng`` —
+        use the dedicated ``"tenants"`` stream so the labelling never
+        perturbs the arrival process.  ``fresh()`` copies carry the label,
+        so one labelled trace replays identically against every system.
+        Returns ``self`` for chaining.
+        """
+        if n_tenants < 1:
+            raise ValueError(f"n_tenants must be >= 1, got {n_tenants}")
+        if skew < 0:
+            raise ValueError(f"skew must be >= 0, got {skew}")
+        weights = np.array(
+            [1.0 / (t + 1) ** skew for t in range(n_tenants)])
+        draws = rng.choice(n_tenants, size=len(self.requests),
+                           p=weights / weights.sum())
+        for request, tenant in zip(self.requests, draws):
+            request.tenant_id = int(tenant)
+        return self
 
     @property
     def mean_input_tokens(self) -> float:

@@ -1,0 +1,283 @@
+"""Differential guard: O(log n) dispatch indices vs the linear scan.
+
+The indexed dispatch path (``dispatch_index=True``, the default) must be
+bit-for-bit identical to the linear fleet scan on stock engines — same
+per-engine request sequences, same stats, same queue delays, same RNG
+consumption.  These tests run every policy under both implementations and
+compare complete run fingerprints, across the regimes that exercise every
+index maintenance path: unsaturated flow, batch-cap saturation (the
+backpressure filter), SLO admission, lifecycle churn (drain + stall +
+crash), and backpressure off.
+
+Plus unit tests for the two index structures themselves
+(:mod:`repro.hardware.dispatch_index`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adapters.registry import AdapterRegistry
+from repro.hardware.dispatch_index import MinLoadHeap, SelectableBitset
+from repro.llm.model import LLAMA_7B
+from repro.serving.admission import SloPolicy
+from repro.serving.engine import EngineConfig
+from repro.serving.replica import MultiReplicaSystem
+from repro.sim.rng import RngStreams
+from repro.workload.trace import SPLITWISE_PROFILE, synthesize_trace
+
+POLICIES = (
+    "least_loaded",
+    "round_robin",
+    "p2c",
+    "token_weighted",
+    "adapter_affinity",
+    "bounded_affinity",
+)
+
+
+# --------------------------------------------------------------------- #
+# MinLoadHeap
+# --------------------------------------------------------------------- #
+class TestMinLoadHeap:
+    def test_peek_returns_minimum(self):
+        heap = MinLoadHeap()
+        loads = [5, 2, 9, 2]
+        for i, load in enumerate(loads):
+            heap.push(load, i)
+        assert heap.peek(loads, [True] * 4) == 1  # load 2, lowest index
+
+    def test_tie_break_prefers_lowest_index(self):
+        heap = MinLoadHeap()
+        loads = [3, 3, 3]
+        for i in (2, 0, 1):  # push order must not matter
+            heap.push(3, i)
+        assert heap.peek(loads, [True] * 3) == 0
+
+    def test_stale_entries_are_discarded(self):
+        heap = MinLoadHeap()
+        loads = [1, 4]
+        heap.push(1, 0)
+        heap.push(4, 1)
+        loads[0] = 7  # engine 0's load moved; entry (1, 0) is stale
+        heap.push(7, 0)
+        assert heap.peek(loads, [True, True]) == 1
+
+    def test_ineligible_entries_are_discarded(self):
+        heap = MinLoadHeap()
+        loads = [1, 4]
+        heap.push(1, 0)
+        heap.push(4, 1)
+        assert heap.peek(loads, [False, True]) == 1
+        assert heap.peek(loads, [False, False]) is None
+
+    def test_peek_unsaturated_skips_capped_replicas(self):
+        heap = MinLoadHeap()
+        loads = [4, 6]
+        heap.push(4, 0)
+        heap.push(6, 1)
+        # Engine 0 is the min but sits at its cap; the pick must skip it.
+        assert heap.peek_unsaturated(loads, [True, True], [4, 6], [4, 8]) == 1
+
+    def test_rebuild_replaces_contents(self):
+        heap = MinLoadHeap()
+        heap.push(0, 3)
+        heap.rebuild([(2, 0), (1, 1)])
+        assert len(heap) == 2
+        assert heap.peek([2, 1], [True, True]) == 1
+
+    def test_equal_duplicate_entries_are_safe(self):
+        # Two pushes storing the same (load, index) value: discarding either
+        # must leave a current entry behind.
+        heap = MinLoadHeap()
+        loads = [2]
+        heap.push(2, 0)
+        heap.push(2, 0)
+        assert heap.peek(loads, [True]) == 0
+        assert heap.peek_unsaturated(loads, [True], [2], [1]) is None
+        assert len(heap) == 0  # both entries consumed by the saturated scan
+
+
+# --------------------------------------------------------------------- #
+# SelectableBitset
+# --------------------------------------------------------------------- #
+class TestSelectableBitset:
+    def test_kth_matches_reference_selection(self):
+        rng = np.random.default_rng(11)
+        for n in (1, 2, 7, 16, 33, 100):
+            bits = [bool(b) for b in rng.integers(0, 2, size=n)]
+            bitset = SelectableBitset(bits)
+            reference = [i for i, b in enumerate(bits) if b]
+            assert len(bitset) == len(reference)
+            for k, expect in enumerate(reference):
+                assert bitset.kth(k) == expect
+
+    def test_set_updates_selection(self):
+        bits = [True, False, True, False, True]
+        bitset = SelectableBitset(bits)
+        bitset.set(2, False)
+        bitset.set(3, True)
+        reference = [0, 3, 4]
+        assert [bitset.kth(k) for k in range(len(bitset))] == reference
+
+    def test_set_is_idempotent(self):
+        bitset = SelectableBitset([True, False])
+        bitset.set(0, True)  # no-op
+        bitset.set(1, False)  # no-op
+        assert len(bitset) == 1 and bitset.kth(0) == 0
+
+    def test_kth_out_of_range_raises(self):
+        bitset = SelectableBitset([True, False])
+        with pytest.raises(IndexError):
+            bitset.kth(1)
+        with pytest.raises(IndexError):
+            bitset.kth(-1)
+
+    def test_randomized_set_and_kth(self):
+        rng = np.random.default_rng(5)
+        n = 50
+        bits = [bool(b) for b in rng.integers(0, 2, size=n)]
+        bitset = SelectableBitset(bits)
+        for _ in range(300):
+            i = int(rng.integers(0, n))
+            value = bool(rng.integers(0, 2))
+            bits[i] = value
+            bitset.set(i, value)
+            reference = [j for j, b in enumerate(bits) if b]
+            assert len(bitset) == len(reference)
+            if reference:
+                k = int(rng.integers(0, len(reference)))
+                assert bitset.kth(k) == reference[k]
+            assert [bitset.get(j) for j in range(n)] == bits
+
+
+# --------------------------------------------------------------------- #
+# Differential guard: indexed dispatch == linear scan, bit for bit
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def registry():
+    return AdapterRegistry.build(LLAMA_7B, 100)
+
+
+def _trace(registry, rps, duration=18.0):
+    rng = RngStreams(9).get("trace")
+    return synthesize_trace(SPLITWISE_PROFILE, rps=rps, duration=duration,
+                            rng=rng, registry=registry)
+
+
+def _fingerprint(system):
+    """Everything observable about a run, for exact comparison."""
+    stats = system.cluster.stats
+    return {
+        "per_engine": [
+            [r.request_id for r in engine.all_requests]
+            for engine in system.engines
+        ],
+        "dispatched": stats.dispatched,
+        "queued": stats.queued,
+        "spills": stats.spills,
+        "shed": stats.shed,
+        "deprioritized": stats.deprioritized,
+        "queue_delays": list(stats.queue_delays),
+        "ttfts": sorted(
+            (r.request_id, r.ttft)
+            for r in system.all_requests()
+            if r.first_token_time is not None
+        ),
+        "events": system.sim.processed_events,
+    }
+
+
+def _run(policy, registry, trace, *, dispatch_index, engine_config=None,
+         churn=False, **kwargs):
+    system = MultiReplicaSystem.build(
+        "chameleon", n_replicas=4, dispatch_policy=policy, seed=5,
+        registry=registry, dispatch_index=dispatch_index,
+        **({"engine_config": engine_config} if engine_config else {}),
+        **kwargs)
+    if churn:
+        system.sim.schedule_at(4.0, system.cluster.stall_replica, 2, 2.5)
+        system.sim.schedule_at(6.0, system.cluster.drain_replica, 1)
+        system.sim.schedule_at(9.0, system.cluster.fail_replica, 3)
+    system.run_trace(trace.fresh())
+    return _fingerprint(system)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_index_identity_unsaturated(policy, registry):
+    trace = _trace(registry, rps=14.0)
+    indexed = _run(policy, registry, trace, dispatch_index=True)
+    scanned = _run(policy, registry, trace, dispatch_index=False)
+    assert indexed == scanned
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_index_identity_saturated(policy, registry):
+    # Tiny batch caps force the backpressure saturation filter and the
+    # global queue on, exercising every filtered index branch.
+    trace = _trace(registry, rps=40.0)
+    config = EngineConfig(max_batch_size=4)
+    indexed = _run(policy, registry, trace, dispatch_index=True,
+                   engine_config=config)
+    scanned = _run(policy, registry, trace, dispatch_index=False,
+                   engine_config=config)
+    assert indexed == scanned
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_index_identity_slo_shed(policy, registry):
+    trace = _trace(registry, rps=40.0)
+    config = EngineConfig(max_batch_size=4)
+    slo = SloPolicy(ttft_deadline=2.0, mode="shed")
+    indexed = _run(policy, registry, trace, dispatch_index=True,
+                   engine_config=config, slo_policy=slo)
+    scanned = _run(policy, registry, trace, dispatch_index=False,
+                   engine_config=config, slo_policy=slo)
+    assert indexed == scanned
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_index_identity_lifecycle_churn(policy, registry):
+    # Stall + drain + crash mid-run: index rebuilds on eligibility changes
+    # and the bulk-move resync path must stay identical.
+    trace = _trace(registry, rps=30.0)
+    config = EngineConfig(max_batch_size=6)
+    indexed = _run(policy, registry, trace, dispatch_index=True,
+                   engine_config=config, churn=True)
+    scanned = _run(policy, registry, trace, dispatch_index=False,
+                   engine_config=config, churn=True)
+    assert indexed == scanned
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_index_identity_no_backpressure(policy, registry):
+    trace = _trace(registry, rps=40.0)
+    config = EngineConfig(max_batch_size=4)
+    indexed = _run(policy, registry, trace, dispatch_index=True,
+                   engine_config=config, backpressure=False)
+    scanned = _run(policy, registry, trace, dispatch_index=False,
+                   engine_config=config, backpressure=False)
+    assert indexed == scanned
+
+
+@pytest.mark.parametrize("policy", ("least_loaded", "p2c", "token_weighted"))
+def test_index_identity_heterogeneous_fleet(policy, registry):
+    # Mixed-spec fleets make capability weights non-uniform: the
+    # load-comparing indices must stand down (fall back to the scan) and
+    # still produce identical runs — this guards the `_index_active` gate.
+    trace = _trace(registry, rps=20.0)
+    specs = ["a100-80gb", "a40-48gb", "a40-48gb", "a100-24gb"]
+    indexed = _run(policy, registry, trace, dispatch_index=True,
+                   replica_specs=specs)
+    scanned = _run(policy, registry, trace, dispatch_index=False,
+                   replica_specs=specs)
+    assert indexed == scanned
+
+
+def test_index_default_on():
+    import inspect
+
+    from repro.hardware.cluster import DataParallelCluster
+    sig = inspect.signature(DataParallelCluster.__init__)
+    assert sig.parameters["dispatch_index"].default is True

@@ -11,7 +11,7 @@ def test_registry_covers_all_figures():
     expected = {f"fig{n:02d}" for n in (2, 3, 4, 5, 6, 7, 8)} | {
         f"fig{n}" for n in range(11, 28)} | {
         "fig28_autoscale", "fig29_predictive_autoscale",
-        "fig30_fault_recovery",
+        "fig30_fault_recovery", "fig31_region_scaling",
         "abl_wrs_degree", "abl_eviction_weights", "abl_gdsf",
         "abl_load_stall", "abl_dp_dispatch", "abl_slo_admission",
         "abl_capability_estimator", "abl_fault_chaos"}
