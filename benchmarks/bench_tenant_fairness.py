@@ -1,0 +1,91 @@
+"""Bench: multi-tenant fairness under a hot-tenant storm.
+
+Tier-1-safe smoke benchmarks that pin the two headline claims of the
+tenant-fairness layer at reduced scale:
+
+* fig32: when one tenant floods the fleet, weighted-fair admission
+  (per-tenant DRR lanes + token-bucket quotas) holds every victim
+  tenant's SLO attainment near 1.0 while pure-goodput admission pays the
+  storm out of the victims' deadlines.
+* The fairness machinery is pay-for-what-you-use: with no
+  ``TenantFairnessPolicy`` attached, the dispatcher hot path still clears
+  the CI throughput gate recorded in ``BENCH_hotpath.json`` — adding the
+  tenant layer did not tax the anonymous path.
+
+Set ``BENCH_TENANT_FAIRNESS_JSON=<path>`` to record the storm headline
+numbers as a JSON artifact (CI uploads it).
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from bench_hotpath import run_hotpath
+
+from repro.experiments.fig32_tenant_fairness import run as run_storm
+
+#: Reduced-scale storm window (the fig32 --quick shape): long enough for
+#: the storm to saturate the fleet and for victims to feel it.
+QUICK = dict(duration=90.0, storm_start=35.0, storm_duration=30.0)
+
+#: The weighted-fair floor under the storm, and the ceiling the
+#: pure-goodput baseline demonstrably fails: the gap is the headline.
+FAIR_VICTIM_FLOOR = 0.95
+GOODPUT_VICTIM_CEILING = 0.8
+
+
+def test_weighted_fair_holds_victims_through_the_storm(run_experiment):
+    result = run_experiment(run_storm, **QUICK)
+    rows = {row["variant"]: row for row in result.rows}
+    fair = rows["weighted_fair"]
+    goodput = rows["goodput"]
+
+    # The storm actually bites: without quotas the worst victim tenant
+    # loses a deadline-sized chunk of its attainment ...
+    assert goodput["victim_min_attainment"] < GOODPUT_VICTIM_CEILING
+    # ... while weighted-fair admission holds every victim at the floor
+    # and charges the wait to the storm lane instead.
+    assert fair["victim_min_attainment"] >= FAIR_VICTIM_FLOOR
+    assert fair["quota_throttles"] > 0
+    # Fairness across tenants improves, and the fleet-wide tail collapses
+    # (under goodput admission every tenant's p99 sits behind the storm).
+    assert fair["fairness_jain"] > goodput["fairness_jain"]
+    assert fair["p99_ttft_s"] < goodput["p99_ttft_s"]
+
+    artifact = os.environ.get("BENCH_TENANT_FAIRNESS_JSON")
+    if artifact:
+        payload = {
+            "params": QUICK,
+            "ci_gate": {
+                "fair_victim_floor": FAIR_VICTIM_FLOOR,
+                "goodput_victim_ceiling": GOODPUT_VICTIM_CEILING,
+            },
+            "variants": rows,
+        }
+        pathlib.Path(artifact).write_text(json.dumps(payload, indent=2,
+                                                     sort_keys=True))
+
+
+def test_fairness_off_hotpath_clears_recorded_gate():
+    """Anonymous traffic through the post-tenancy dispatcher still meets
+    the pinned hot-path throughput gate: the fairness machinery costs
+    nothing when no policy is attached."""
+    gate = json.loads(
+        (pathlib.Path(__file__).resolve().parents[1]
+         / "BENCH_hotpath.json").read_text())["ci_gate"]
+    point = run_hotpath(n_requests=int(gate["smoke_requests"]),
+                        rps=16000.0, n_replicas=64)
+    print(f"\nfairness-off hot path: {point['events_per_sec']:,.0f} "
+          f"events/s (gate {gate['min_events_per_sec']:,.0f})")
+    assert point["events_per_sec"] >= gate["min_events_per_sec"]
+
+
+def test_tenant_lanes_keep_storm_run_interactive():
+    """Guardrail on the fairness machinery's own cost: the full fig32
+    storm (two variants, ~20k requests) stays a few-second smoke run."""
+    start = time.perf_counter()
+    run_storm(**QUICK)
+    elapsed = time.perf_counter() - start
+    print(f"\nfig32 quick pair: {elapsed:.1f}s wall")
+    assert elapsed < 120.0

@@ -53,6 +53,8 @@ QUICK_OVERRIDES = {
     "fig29_predictive_autoscale": {"duration": 200.0},
     "fig30_fault_recovery": {"duration": 200.0},
     "fig31_region_scaling": {"duration": 60.0, "warmup": 10.0},
+    "fig32_tenant_fairness": {"duration": 90.0, "storm_start": 35.0,
+                              "storm_duration": 30.0},
     "abl_fault_chaos": {"duration": 150.0, "mttfs": (None, 60.0, 30.0)},
     "abl_wrs_degree": {"duration": 90.0, "loads": (9.0, 11.0)},
     "abl_eviction_weights": {"duration": 60.0, "grid_step": 0.5},
@@ -117,6 +119,18 @@ def _cluster_main(argv) -> int:
                              "from the trace")
     parser.add_argument("--slo-mode", default="shed", choices=SloPolicy.MODES,
                         help="what to do with arrivals past the SLO knee")
+    parser.add_argument("--tenants", type=int, default=None, metavar="N",
+                        help="serve a Zipf-skewed N-tenant population "
+                             "(SLO classes dealt gold/standard/batch) "
+                             "instead of the anonymous trace")
+    parser.add_argument("--tenant-skew", type=float, default=1.2,
+                        help="Zipf exponent of the tenant shares "
+                             "(0 = uniform; needs --tenants)")
+    parser.add_argument("--fair", action="store_true",
+                        help="weighted-fair admission: per-tenant quota "
+                             "lanes (token buckets from the declared "
+                             "shares) drained by deficit round-robin "
+                             "(needs --tenants and --slo-ttft)")
     parser.add_argument("--autoscale", action="store_true",
                         help="make the fleet elastic: scale out on sustained "
                              "shed-rate/queue-wait pressure, in on sustained "
@@ -237,9 +251,33 @@ def _cluster_main(argv) -> int:
     if args.slo_ttft is not None and args.no_backpressure:
         parser.error("--slo-ttft needs backpressure (the SLO knee is the "
                      "global queue); drop --no-backpressure")
+    if args.tenants is not None and args.tenants < 1:
+        parser.error(f"--tenants must be >= 1, got {args.tenants}")
+    if args.tenant_skew < 0:
+        parser.error(f"--tenant-skew must be >= 0, got {args.tenant_skew}")
+    if args.fair and args.tenants is None:
+        parser.error("--fair needs --tenants (quotas are per tenant)")
+    if args.fair and args.no_backpressure:
+        parser.error("--fair needs backpressure (the quota lanes are the "
+                     "global queue); drop --no-backpressure")
 
     registry = standard_registry()
-    trace = standard_trace(args.rps, args.duration, registry, seed=args.seed)
+    population = None
+    slo_classes = None
+    if args.tenants is not None:
+        from repro.sim.rng import RngStreams
+        from repro.workload.tenants import (
+            DEFAULT_SLO_CLASSES, TenantPopulation)
+
+        population = TenantPopulation.build(args.tenants,
+                                            skew=args.tenant_skew)
+        slo_classes = DEFAULT_SLO_CLASSES
+        trace = population.synthesize(
+            rps=args.rps, duration=args.duration,
+            rng=RngStreams(args.seed).get("trace"), registry=registry)
+    else:
+        trace = standard_trace(args.rps, args.duration, registry,
+                               seed=args.seed)
     slo_policy = None
     if args.slo_ttft is not None:
         if args.slo_ttft > 0:
@@ -250,7 +288,15 @@ def _cluster_main(argv) -> int:
             deadline = sum(
                 trace_slo(trace, registry, gpu=gpu) for gpu in fleet_gpus
             ) / len(fleet_gpus)
-        slo_policy = SloPolicy(ttft_deadline=deadline, mode=args.slo_mode)
+        slo_policy = SloPolicy(ttft_deadline=deadline, mode=args.slo_mode,
+                               classes=slo_classes)
+    tenancy = None
+    if args.fair:
+        from repro.serving.admission import TenantFairnessPolicy
+
+        tenancy = TenantFairnessPolicy.from_shares(
+            population.shares(), capacity_rps=args.rps,
+            classes=slo_classes)
     autoscale = None
     if args.autoscale:
         from repro.serving.autoscaler import AutoscaleConfig
@@ -274,7 +320,7 @@ def _cluster_main(argv) -> int:
         autoscale=autoscale,
         fault_schedule=fault_schedule, mttf=args.mttf, mttr=args.mttr,
         fault_migrate=not args.no_fault_migration,
-        registry=registry, seed=args.seed,
+        registry=registry, seed=args.seed, tenancy=tenancy,
     )
     watch = Stopwatch()
     cluster.run_trace(trace.fresh())
@@ -305,6 +351,17 @@ def _cluster_main(argv) -> int:
         print(f"  goodput                   {extra['goodput_rps']:.2f} RPS "
               f"(SLO attainment {extra['cluster_slo_attainment']:.3f}, "
               f"shed rate {extra['shed_rate']:.3f})")
+    if tenancy is not None:
+        attain = ", ".join(
+            f"{t}:{a:.3f}" for t, a in zip(extra["tenant_ids"],
+                                           extra["tenant_attainment"]))
+        print(f"  tenant fairness           Jain "
+              f"{extra['tenant_fairness_jain']:.3f}, attainment spread "
+              f"{extra['tenant_attainment_spread']:.3f}")
+        print(f"  tenant attainment         {attain}")
+        print(f"  quota work                "
+              f"{sum(extra['tenant_quota_throttles'])} throttles / "
+              f"{sum(extra['tenant_quota_borrows'])} borrows")
     if args.policy == "bounded_affinity":
         print(f"  affinity spills           {extra['affinity_spills']}")
     if args.autoscale:

@@ -41,6 +41,7 @@ from repro.experiments import (
     fig29_predictive_autoscale,
     fig30_fault_recovery,
     fig31_region_scaling,
+    fig32_tenant_fairness,
 )
 
 EXPERIMENTS: dict[str, Callable] = {
@@ -72,6 +73,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "fig29_predictive_autoscale": fig29_predictive_autoscale.run,
     "fig30_fault_recovery": fig30_fault_recovery.run,
     "fig31_region_scaling": fig31_region_scaling.run,
+    "fig32_tenant_fairness": fig32_tenant_fairness.run,
     # Ablations of design choices (DESIGN.md) and of our modeling assumptions.
     "abl_capability_estimator": abl_capability_estimator.run,
     "abl_fault_chaos": abl_fault_chaos.run,

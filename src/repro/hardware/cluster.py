@@ -91,6 +91,68 @@ class TensorParallelGroup(GpuDevice):
 
 
 @dataclass
+class TenantBook:
+    """Per-tenant dispatch ledger (one per lane; fairness dispatch only).
+
+    All counters are *offers and outcomes at this cluster*: a migrated
+    request re-offered after a crash counts ``submitted`` again, exactly as
+    it counts ``DispatchStats.arrivals`` again.  At any instant
+
+        submitted + stolen == admitted + shed + donated + waiting
+
+    holds exactly per tenant, where ``waiting`` is the tenant's lane length
+    plus its entries still parked in the shared deprioritized lane (the
+    invariant suite checks it), and every counter summed over the books
+    equals its cluster-wide ``DispatchStats`` twin.  ``admitted - borrowed - deprioritized`` is bounded by the lane's
+    token bucket (burst + rate x horizon) — the quota-ceiling invariant; the
+    deprioritized lane bypasses quota because it only drains idle capacity
+    by construction.
+    """
+
+    weight: float = 1.0        # DRR quantum (max(1, class weight))
+    submitted: int = 0         # offers to the dispatcher (incl. migrations)
+    admitted: int = 0          # handed to an engine here
+    queued: int = 0            # offers that waited in a lane
+    shed: int = 0              # rejected by the SLO policy
+    deprioritized: int = 0     # moved to the shared low-priority lane
+    throttled: int = 0         # lane visits skipped on an empty token bucket
+    borrowed: int = 0          # admissions past the cap while capacity idled
+    donated: int = 0           # lane entries handed to a sibling shard
+    stolen: int = 0            # entries accepted from a sibling's lanes
+    lost: int = 0              # stranded by replica failures
+    virtual_time: float = 0.0  # cumulative admitted service / weight
+
+
+class _TokenBucket:
+    """Request-rate token bucket: ``rate`` tokens/s, depth ``burst``."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst  # a fresh lane may burst immediately
+        self.stamp = now
+
+    def try_take(self, now: float) -> bool:
+        """Spend one token if the bucket has one (refilled lazily)."""
+        if now > self.stamp:
+            self.tokens = min(
+                self.burst, self.tokens + self.rate * (now - self.stamp))
+            self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def available(self, now: float) -> float:
+        """Tokens the bucket would hold at ``now`` (no refill side effect)."""
+        if now <= self.stamp:
+            return self.tokens
+        return min(self.burst, self.tokens + self.rate * (now - self.stamp))
+
+
+@dataclass
 class DispatchStats:
     """Global-dispatcher telemetry (queueing, routing, SLO admission)."""
 
@@ -109,6 +171,9 @@ class DispatchStats:
     donated: int = 0           # queued requests handed to a sibling shard
     stolen: int = 0            # requests accepted from a sibling's queue
     queue_delays: list = field(default_factory=list)  # seconds, queued only
+    #: tenant id -> TenantBook; populated only under a TenantFairnessPolicy
+    #: (empty dict otherwise — the anonymous path never touches it).
+    tenants: dict = field(default_factory=dict)
 
 
 #: EWMA weight of the newest cluster-wide inter-finish interval sample in the
@@ -209,6 +274,7 @@ class DataParallelCluster:
         capability_estimator=None,
         sim=None,
         dispatch_index: bool = True,
+        tenancy=None,
     ) -> None:
         if not engines:
             raise ValueError("cluster needs at least one engine")
@@ -220,11 +286,16 @@ class DataParallelCluster:
             raise ValueError(
                 "SLO admission needs backpressure: the knee is the global "
                 "queue, which force-submission bypasses")
+        if tenancy is not None and not backpressure:
+            raise ValueError(
+                "tenant fairness needs backpressure: quotas and DRR act on "
+                "the global queue, which force-submission bypasses")
         self.engines = list(engines)
         self.policy = policy
         self.backpressure = backpressure
         self.spill_factor = spill_factor
         self.slo_policy = slo_policy
+        self.tenancy = tenancy
         self.normalize_capability = normalize_capability
         self.capability_estimator = capability_estimator
         self.stats = DispatchStats()
@@ -236,6 +307,19 @@ class DataParallelCluster:
         self._low_queue: deque = deque()  # deprioritized lane (SLO policy)
         self._shed: list = []             # arrivals rejected by SLO admission
         self._lost: list = []             # stranded by replica failures
+        # Tenant-fairness lane state (used only with a tenancy policy; the
+        # anonymous path never touches it beyond the `_fair_backlog == 0`
+        # reads folded into can_admit/queue_len).  Lanes live in dicts keyed
+        # by tenant id, but every dispatch-path iteration walks `_lane_ring`
+        # — the deterministic activation-order list — never the dicts.
+        self._lanes: dict = {}            # tenant -> deque[(request, t)]
+        self._lane_ring: list = []        # lane keys, activation order
+        self._lane_cursor: int = 0        # DRR position in _lane_ring
+        self._visit_open: bool = False    # mid-visit at the cursor lane
+        self._deficit: dict = {}          # tenant -> carried DRR deficit
+        self._lane_quantum: dict = {}     # tenant -> max(1, class weight)
+        self._buckets: dict = {}          # tenant -> _TokenBucket (capped)
+        self._fair_backlog: int = 0       # total queued across lanes
         #: One record per migrated request re-offer: time, request id, the
         #: replica it was evacuated from, and its retry ordinal.
         self.migration_log: list[dict] = []
@@ -545,7 +629,14 @@ class DataParallelCluster:
         provisioning, or draining out): such arrivals always wait at the
         cluster — backpressure or not, there is nowhere to submit — and are
         released when a replica activates.
+
+        With a :class:`~repro.serving.admission.TenantFairnessPolicy`
+        attached (``tenancy=``), waiting arrivals park in per-tenant lanes
+        drained by deficit round-robin under token-bucket rate caps instead
+        of the single FIFO — see :meth:`_dispatch_fair`.
         """
+        if self.tenancy is not None:
+            return self._dispatch_fair(request)
         self.stats.arrivals += 1
         if self.can_admit():
             return self._submit(request)
@@ -579,7 +670,8 @@ class DataParallelCluster:
         router calls this per arrival to decide spills, and the
         work-stealing loop calls it per steal."""
         return self._has_available() and not (
-            self.backpressure and (self._queue or self._all_saturated()))
+            self.backpressure and (
+                self._queue or self._fair_backlog or self._all_saturated()))
 
     def estimated_queue_wait(self) -> float:
         """Predicted queue wait of the next FIFO arrival, in seconds.
@@ -591,11 +683,12 @@ class DataParallelCluster:
         """
         if self._finish_interval_ewma is None:
             return 0.0
-        return (len(self._queue) + 1) * self._finish_interval_ewma
+        return (len(self._queue) + self._fair_backlog + 1) * \
+            self._finish_interval_ewma
 
     def queue_len(self) -> int:
-        """Requests currently waiting at the cluster (both lanes)."""
-        return len(self._queue) + len(self._low_queue)
+        """Requests currently waiting at the cluster (all lanes)."""
+        return len(self._queue) + self._fair_backlog + len(self._low_queue)
 
     def low_queue_len(self) -> int:
         """Requests currently parked in the deprioritized lane."""
@@ -604,12 +697,16 @@ class DataParallelCluster:
     def pending_requests(self) -> list:
         """Requests still waiting at the cluster (never dispatched).
 
-        Covers both lanes, FIFO first.  Non-empty only when a run stops at a
-        horizon while the cluster is backlogged; accounting must not lose
-        these arrivals.
+        Covers every lane — FIFO first, then tenant lanes in activation
+        order, then the deprioritized lane.  Non-empty only when a run stops
+        at a horizon while the cluster is backlogged; accounting must not
+        lose these arrivals.
         """
-        return [request for request, _ in self._queue] + \
-               [request for request, _ in self._low_queue]
+        pending = [request for request, _ in self._queue]
+        for key in self._lane_ring:
+            pending.extend(request for request, _ in self._lanes[key])
+        pending.extend(request for request, _ in self._low_queue)
+        return pending
 
     def shed_requests(self) -> list:
         """Arrivals the SLO policy rejected (they never ran)."""
@@ -726,6 +823,9 @@ class DataParallelCluster:
         self._notify_capacity()
 
     def _drain(self) -> None:
+        if self.tenancy is not None:
+            self._drain_fair()
+            return
         while self._queue and not self._all_saturated():
             self._release(self._queue.popleft())
         # The low-priority lane drains only while the FIFO lane is empty: a
@@ -743,6 +843,231 @@ class DataParallelCluster:
         request.dispatch_queue_delay += delay
         self.stats.queue_delays.append(delay)
         self._submit(request)
+
+    # ------------------------------------------------------------------ #
+    # Tenant-fairness dispatch (tenancy= policy attached)
+    # ------------------------------------------------------------------ #
+    def _book(self, request) -> TenantBook:
+        """The request's tenant ledger, creating its lane on first sight.
+
+        A lane's DRR quantum is fixed when the lane is created, from the SLO
+        class of the first request seen for the tenant (classes are
+        per-tenant in the population model).  Quanta below 1 are rounded up
+        so every backlogged lane is entitled to at least one serve per DRR
+        round — the no-starvation bound.
+        """
+        key = getattr(request, "tenant_id", None)
+        book = self.stats.tenants.get(key)
+        if book is None:
+            weight = self.tenancy.weight_for(
+                getattr(request, "slo_class", None))
+            book = TenantBook(weight=max(1.0, weight))
+            self.stats.tenants[key] = book
+            self._lanes[key] = deque()
+            self._lane_ring.append(key)
+            self._deficit[key] = 0.0
+            self._lane_quantum[key] = book.weight
+            rate = self.tenancy.rate_for(key)
+            if rate is not None:
+                self._buckets[key] = _TokenBucket(
+                    rate, self.tenancy.quota_burst, self._now())
+        return book
+
+    def _dispatch_fair(self, request) -> Optional[int]:
+        """Fairness twin of :meth:`dispatch`: lanes instead of the FIFO.
+
+        Immediate admission (:meth:`can_admit` true) still charges the
+        tenant's token bucket; when the bucket is empty the admission only
+        proceeds — counted ``borrowed`` — while the fleet has genuine slack
+        (:meth:`_fleet_has_idle`), because a serve past quota is free
+        exactly when it cannot delay in-quota tenants behind a deepening
+        engine backlog.  Out of quota with the fleet busy, the arrival
+        waits in its lane for a token like any other.  Arrivals that must
+        wait go through a lane-aware SLO gate, then park in their tenant's
+        lane.
+        """
+        self.stats.arrivals += 1
+        book = self._book(request)
+        book.submitted += 1
+        key = getattr(request, "tenant_id", None)
+        if self.can_admit():
+            bucket = self._buckets.get(key)
+            if bucket is None or bucket.try_take(self._now()):
+                return self._submit_fair(request, book)
+            if self._fleet_has_idle():
+                book.borrowed += 1
+                return self._submit_fair(request, book)
+        if self.slo_policy is not None:
+            deadline = self.slo_policy.deadline_for(request)
+            if self._estimated_lane_wait(key) > deadline:
+                if self.slo_policy.mode == "shed":
+                    request.shed = True
+                    self.stats.shed += 1
+                    book.shed += 1
+                    self._shed.append(request)
+                    return None
+                request.deprioritized = True
+                self.stats.deprioritized += 1
+                self.stats.queued += 1
+                book.deprioritized += 1
+                book.queued += 1
+                self._low_queue.append((request, self._now()))
+                self._drain_fair()
+                return None
+        self._lanes[key].append((request, self._now()))
+        self._fair_backlog += 1
+        self.stats.queued += 1
+        book.queued += 1
+        self._drain_fair()
+        return None
+
+    def _estimated_lane_wait(self, key) -> float:
+        """Predicted queue wait of an arrival joining tenant ``key``'s lane.
+
+        Under deficit round-robin the wait is governed by the arrival's
+        position in its *own* lane and the round cadence — not by the
+        global backlog, which one hot tenant can inflate arbitrarily.
+        Joining at lane position ``p`` takes about ``p / quantum`` DRR
+        rounds, each serving about the summed quanta of the currently
+        backlogged lanes; the estimate is capped at the whole-backlog FIFO
+        bound (DRR never serves more than everything ahead of the arrival).
+        A rate-capped lane additionally drains no faster than its token
+        bucket refills, so the wait is at least the time for the bucket to
+        cover the lane — that term is what sheds a storm at admission once
+        its lane holds a deadline's worth of quota.  This is what keeps the
+        SLO gate per-tenant: a victim with an empty lane admits on its own
+        merits while a storm's arrivals see their own mile-long lane and
+        shed.
+        """
+        if self._finish_interval_ewma is None:
+            return 0.0
+        lane = self._lanes.get(key)
+        position = (len(lane) if lane is not None else 0) + 1
+        quantum = self._lane_quantum.get(key, 1.0)
+        per_round = sum(self._lane_quantum[k]
+                        for k in self._lane_ring if self._lanes[k])
+        per_round = max(per_round, quantum)
+        serves = min((position / quantum) * per_round,
+                     self._fair_backlog + position)
+        wait = serves * self._finish_interval_ewma
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            short = position - bucket.available(self._now())
+            if short > 0:
+                wait = max(wait, short / bucket.rate)
+        return wait
+
+    def _submit_fair(self, request, book: TenantBook) -> int:
+        """Submit plus the tenant's service accounting (virtual time grows
+        by the inverse quantum, so equal virtual times mean weight-
+        proportional service)."""
+        book.admitted += 1
+        book.virtual_time += 1.0 / book.weight
+        return self._submit(request)
+
+    def _release_fair(self, entry) -> None:
+        """Fairness twin of :meth:`_release` (same delay accounting)."""
+        request, enqueued_at = entry
+        delay = self._now() - enqueued_at
+        request.dispatch_queue_delay += delay
+        self.stats.queue_delays.append(delay)
+        self._submit_fair(request, self._book(request))
+
+    def _drain_fair(self) -> None:
+        while self._fair_backlog and not self._all_saturated():
+            if not self._fair_step():
+                break  # every backlogged lane throttled, fleet busy
+        # The shared deprioritized lane drains only while every tenant lane
+        # is empty — identical precedence to the anonymous path.  It bypasses
+        # the token buckets: by construction it only ever consumes capacity
+        # no in-quota lane wanted.
+        while (not self._fair_backlog and self._low_queue
+               and not self._all_saturated()):
+            self._release_fair(self._low_queue.popleft())
+
+    def _fair_step(self) -> bool:
+        """Serve at most one lane entry by deficit round-robin.
+
+        The cursor walks ``_lane_ring``; arriving at a lane opens a *visit*
+        that tops up its deficit by the lane quantum (capped at twice the
+        quantum, so a throttled lane's entitlement stays bounded), and the
+        visit lasts — across saturation pauses — until the lane is out of
+        backlog, deficit, or quota tokens.  One full sweep serves every
+        backlogged lane at least once unless its bucket is empty; if a sweep
+        serves nothing while backlog remains, every backlogged lane is out
+        of quota, and — only while the fleet has genuine slack
+        (:meth:`_fleet_has_idle`) — the next backlogged lane in ring order
+        is served past its cap (``borrowed``: quotas are relative shares,
+        not hard partitions, but borrowing against a *busy* fleet would
+        just park the overflow in engine queues ahead of in-quota work).
+        Returns whether an entry was served; ``False`` means every
+        backlogged lane is throttled and the fleet is too busy to borrow —
+        the backlog waits for tokens to refill (a later capacity event
+        re-drains).  Callers guarantee backlog and headroom.
+        """
+        ring = self._lane_ring
+        now = self._now()
+        for _ in range(len(ring)):
+            key = ring[self._lane_cursor]
+            lane = self._lanes[key]
+            if not self._visit_open:
+                self._deficit[key] = min(
+                    self._deficit[key] + self._lane_quantum[key],
+                    2.0 * self._lane_quantum[key]) if lane else 0.0
+                self._visit_open = True
+            if lane and self._deficit[key] >= 1.0:
+                bucket = self._buckets.get(key)
+                book = self.stats.tenants[key]
+                if bucket is None or bucket.try_take(now):
+                    self._deficit[key] -= 1.0
+                    entry = lane.popleft()
+                    self._fair_backlog -= 1
+                    if not lane:
+                        self._deficit[key] = 0.0
+                        self._advance_lane()
+                    self._release_fair(entry)
+                    return True
+                book.throttled += 1  # once per visit, not per entry
+            self._advance_lane()
+        # Full sweep, nothing in quota: borrow-from-idle on the next
+        # backlogged lane in ring order — idle fleet only.
+        if not self._fleet_has_idle():
+            return False
+        for _ in range(len(ring)):
+            key = ring[self._lane_cursor]
+            lane = self._lanes[key]
+            if lane:
+                book = self.stats.tenants[key]
+                book.borrowed += 1
+                entry = lane.popleft()
+                self._fair_backlog -= 1
+                self._advance_lane()
+                self._release_fair(entry)
+                return True
+            self._advance_lane()
+        return False
+
+    def _fleet_has_idle(self) -> bool:
+        """True when the dispatch-eligible fleet has genuine slack: total
+        in-flight work below half the aggregate batch capacity.  This is
+        the borrow-from-idle predicate — past-quota admissions are free
+        while it holds (in-quota arrivals still see shallow engines) and
+        harmful once engines are deep.  Engines without a finite batch cap
+        (test fakes) are left out of both sums; an empty sum is slack.
+        """
+        used = 0.0
+        cap = 0.0
+        for idx in self._eligible:
+            engine_cap = self._batch_cap[idx]
+            if engine_cap == float("inf"):
+                continue
+            used += self._count(idx)
+            cap += engine_cap
+        return used * 2.0 < cap if cap else True
+
+    def _advance_lane(self) -> None:
+        self._lane_cursor = (self._lane_cursor + 1) % len(self._lane_ring)
+        self._visit_open = False
 
     def _simulator(self):
         sim = self._sim_memo
@@ -904,6 +1229,8 @@ class DataParallelCluster:
         self._resync_load(index)  # crash evacuation bypassed submit/finish
         for request in lost:
             request.lost = True
+            if self.tenancy is not None:
+                self._book(request).lost += 1
         self._lost.extend(lost)
         self.stats.lost += len(lost)
         self._recompute_weights()
@@ -1092,8 +1419,24 @@ class DataParallelCluster:
         empty, mirroring local drain order).  Returns the ``(request,
         enqueue_time)`` entry, or ``None`` when nothing is waiting.  The
         enqueue timestamp travels with the request so the receiving shard
-        stamps the *full* cross-shard queue delay."""
-        if self._queue:
+        stamps the *full* cross-shard queue delay.
+
+        Under tenant fairness the donor lane is the most backlogged one
+        (ties to earliest activation) — relieving the longest lane is the
+        donation that helps local fairness most — and the tenant's book
+        records the hand-off so region-wide ledgers stay conserved."""
+        if self._fair_backlog:
+            # `_fair_backlog > 0` guarantees some lane is non-empty, so the
+            # scan always lands on a donor (possibly the anonymous None lane).
+            donor, best = None, 0
+            for key in self._lane_ring:
+                backlog = len(self._lanes[key])
+                if backlog > best:
+                    donor, best = key, backlog
+            entry = self._lanes[donor].popleft()
+            self._fair_backlog -= 1
+            self.stats.tenants[donor].donated += 1
+        elif self._queue:
             entry = self._queue.popleft()
         elif self._low_queue:
             entry = self._low_queue.popleft()
@@ -1106,12 +1449,23 @@ class DataParallelCluster:
         """Admit a queue entry donated by a sibling shard (see
         :meth:`donate_queued`): stamp its accumulated queue delay exactly
         as a local release would, then submit it here.  The caller must
-        have checked :meth:`can_admit` first.  Returns the engine index."""
+        have checked :meth:`can_admit` first.  Returns the engine index.
+
+        Under tenant fairness the thief charges its own token bucket for the
+        tenant (or books a borrow) — region-wide, a tenant's quota is the sum
+        of its per-shard caps, and stolen work must not launder past it."""
         request, enqueued_at = entry
         self.stats.stolen += 1
         delay = self._now() - enqueued_at
         request.dispatch_queue_delay += delay
         self.stats.queue_delays.append(delay)
+        if self.tenancy is not None:
+            book = self._book(request)
+            book.stolen += 1
+            bucket = self._buckets.get(getattr(request, "tenant_id", None))
+            if bucket is not None and not bucket.try_take(self._now()):
+                book.borrowed += 1
+            return self._submit_fair(request, book)
         return self._submit(request)
 
     def raw_capability(self, index: int) -> float:

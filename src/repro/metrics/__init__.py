@@ -9,6 +9,8 @@ from repro.metrics.summary import (
     slowdowns,
     throughput_under_slo,
     compute_slo,
+    jain_fairness_index,
+    tenant_breakdown,
 )
 
 __all__ = [
@@ -20,4 +22,6 @@ __all__ = [
     "slowdowns",
     "throughput_under_slo",
     "compute_slo",
+    "jain_fairness_index",
+    "tenant_breakdown",
 ]

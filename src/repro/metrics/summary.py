@@ -134,6 +134,61 @@ def cdf_points(values: Sequence[float]) -> list[tuple[float, float]]:
     return list(zip(arr.tolist(), probs.tolist()))
 
 
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 means the values are perfectly even; ``1/n`` means one member holds
+    everything.  Values must be non-negative (they are shares: per-tenant
+    attainment, goodput, ...).  All-zero inputs are perfectly even (1.0);
+    empty input is NaN.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return float("nan")
+    if np.any(arr < 0):
+        raise ValueError("fairness is defined over non-negative shares")
+    square_sum = float(np.sum(arr * arr))
+    if square_sum == 0.0:
+        return 1.0
+    return float(np.sum(arr)) ** 2 / (arr.size * square_sum)
+
+
+def tenant_breakdown(
+    requests: Sequence[Request],
+    warmup: float = 0.0,
+    attained: Optional[Callable[[Request], bool]] = None,
+) -> dict:
+    """Per-tenant outcome counts over post-warmup arrivals.
+
+    Returns parallel lists keyed by ``tenant_ids`` (sorted; the anonymous
+    ``None`` tenant, if present, last): arrivals, completions, shed, lost,
+    and attainment — deadline-compliant completions per arrival when an
+    ``attained`` predicate is given (shed/unfinished count against it,
+    matching ``cluster_slo_attainment``), plain completion ratio otherwise.
+    """
+    arrivals = [r for r in requests if r.arrival_time >= warmup]
+    by_tenant: dict = {}
+    for r in arrivals:
+        by_tenant.setdefault(r.tenant_id, []).append(r)
+    tenant_ids = sorted(
+        (t for t in by_tenant if t is not None)) + (
+        [None] if None in by_tenant else [])
+    counts = {"arrivals": [], "completed": [], "shed": [], "lost": [],
+              "attainment": []}
+    for tenant in tenant_ids:
+        mine = by_tenant[tenant]
+        done = [r for r in mine if r.finished]
+        good = [r for r in done if attained(r)] if attained is not None \
+            else done
+        counts["arrivals"].append(len(mine))
+        counts["completed"].append(len(done))
+        counts["shed"].append(sum(1 for r in mine if r.shed))
+        counts["lost"].append(sum(1 for r in mine if r.lost))
+        counts["attainment"].append(
+            len(good) / len(mine) if mine else float("nan"))
+    return {"tenant_ids": tenant_ids, **counts}
+
+
 def slowdowns(
     requests: Sequence[Request],
     cost_model: CostModel,

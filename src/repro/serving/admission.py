@@ -15,12 +15,15 @@ goodput loss instead of unbounded tail growth.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping, Optional
+
+from repro.core.quotas import QueueStats, solve_quotas
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.serving.engine import ServingEngine
     from repro.workload.request import Request
+    from repro.workload.tenants import SloClass
 
 
 @dataclass(frozen=True)
@@ -48,6 +51,14 @@ class SloPolicy:
             their *relative* slowdown even while beating the absolute SLO.
         isolated_ttft: Callable mapping a request to its unloaded TTFT
             estimate in seconds (required when ``slowdown_target`` is set).
+        classes: Optional map of SLO-class name to :class:`SloClass`-like
+            objects (``deadline_scale`` and ``slowdown_target`` attributes).
+            When set, a request carrying a known ``slo_class`` gets deadline
+            ``ttft_deadline * deadline_scale`` (and the class's slowdown
+            target, when it has one); requests with no class — or a name not
+            in the map — keep the global deadline, so class-labelled and
+            anonymous traffic mix under one policy.  ``classes=None`` is
+            byte-identical to the historical single-deadline behavior.
     """
 
     MODES = ("shed", "deprioritize")
@@ -56,6 +67,7 @@ class SloPolicy:
     mode: str = "shed"
     slowdown_target: Optional[float] = None
     isolated_ttft: Optional[Callable[["Request"], float]] = None
+    classes: Optional[Mapping[str, "SloClass"]] = None
 
     def __post_init__(self) -> None:
         if self.ttft_deadline <= 0:
@@ -69,18 +81,165 @@ class SloPolicy:
             if self.isolated_ttft is None:
                 raise ValueError("slowdown_target needs an isolated_ttft estimator")
 
+    def class_of(self, request: "Request") -> Optional["SloClass"]:
+        """The request's resolved SLO class, or ``None`` for global rules."""
+        if self.classes is None:
+            return None
+        name = getattr(request, "slo_class", None)
+        if name is None:
+            return None
+        return self.classes.get(name)
+
     def deadline_for(self, request: "Request") -> float:
         """The effective TTFT deadline of one request, in seconds."""
-        if self.slowdown_target is None or self.isolated_ttft is None:
-            return self.ttft_deadline
-        return min(self.ttft_deadline,
-                   self.slowdown_target * self.isolated_ttft(request))
+        cls = self.class_of(request)
+        if cls is None:
+            base = self.ttft_deadline
+            slowdown = self.slowdown_target
+        else:
+            base = self.ttft_deadline * cls.deadline_scale
+            # A class-level slowdown target overrides the global one; with
+            # no isolated_ttft estimator it is ignored, not an error — the
+            # class tables are workload-owned and must not constrain which
+            # estimators a policy is built with.
+            slowdown = (cls.slowdown_target if cls.slowdown_target is not None
+                        else self.slowdown_target)
+        if slowdown is None or self.isolated_ttft is None:
+            return base
+        return min(base, slowdown * self.isolated_ttft(request))
 
     def attained(self, request: "Request") -> bool:
         """True when the request finished within its effective deadline."""
         if not request.finished or request.first_token_time is None:
             return False
         return request.ttft <= self.deadline_for(request)
+
+
+@dataclass(frozen=True)
+class TenantFairnessPolicy:
+    """Per-tenant quotas and weighted-fair dispatch configuration.
+
+    Attaching one to a :class:`DataParallelCluster` (``tenancy=``) switches
+    its admission queue from a single FIFO to per-tenant lanes drained by
+    deficit round-robin, with token-bucket rate caps on admission.  The
+    policy object is immutable *configuration* — every cluster (each shard
+    of a region) builds its own runtime lane state from it, so one policy
+    can be shared across a whole region.
+
+    Semantics:
+
+    * **Weights** are relative service shares under contention: a lane's DRR
+      quantum is its tenant's class weight (``weight_for``).  An idle fleet
+      serves everyone immediately; weights only matter while lanes are
+      backlogged.
+    * **Quotas are relative shares, not hard partitions** (borrow-from-idle):
+      a tenant whose token bucket is empty is throttled only while *another*
+      lane has unthrottled backlogged work.  When the rest of the fleet is
+      idle — or every backlogged lane is equally out of budget — the
+      dispatcher serves past the cap and counts the overage as ``borrowed``
+      instead of leaving capacity on the floor.
+
+    Attributes:
+        classes: Map of SLO-class name to :class:`SloClass`-like objects
+            (``weight`` attribute); resolves each tenant's DRR quantum from
+            the class its requests carry.
+        quota_rps: Per-tenant admission-rate caps, requests/second.  Tenants
+            absent from the map (and the anonymous ``None`` lane) are
+            uncapped.  An empty map means weighted-fair dispatch only.
+        quota_burst: Token-bucket depth, in requests: how far a tenant may
+            burst above its sustained rate before throttling.
+        default_weight: DRR quantum for tenants whose requests carry no (or
+            an unknown) SLO class.
+    """
+
+    classes: Optional[Mapping[str, "SloClass"]] = None
+    quota_rps: Mapping[int, float] = field(default_factory=dict)
+    quota_burst: float = 8.0
+    default_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.quota_burst < 1.0:
+            raise ValueError(
+                f"quota_burst must be >= 1 request, got {self.quota_burst}")
+        if self.default_weight <= 0:
+            raise ValueError(
+                f"default_weight must be > 0, got {self.default_weight}")
+        for tenant, rate in self.quota_rps.items():
+            if rate <= 0:
+                raise ValueError(
+                    f"quota_rps[{tenant}] must be > 0, got {rate}")
+
+    def weight_for(self, slo_class: Optional[str]) -> float:
+        """DRR quantum for a request class (>= default for unknown names)."""
+        if slo_class is not None and self.classes is not None:
+            cls = self.classes.get(slo_class)
+            if cls is not None:
+                return float(cls.weight)
+        return self.default_weight
+
+    def rate_for(self, tenant_id: Optional[int]) -> Optional[float]:
+        """Sustained admission cap of a tenant lane, or ``None`` if uncapped."""
+        if tenant_id is None:
+            return None
+        return self.quota_rps.get(tenant_id)
+
+    @classmethod
+    def from_shares(
+        cls,
+        shares: Mapping[int, float],
+        capacity_rps: float,
+        headroom: float = 1.25,
+        classes: Optional[Mapping[str, "SloClass"]] = None,
+        quota_burst: float = 8.0,
+    ) -> "TenantFairnessPolicy":
+        """Caps proportional to traffic shares of a known fleet capacity.
+
+        Each tenant may sustain ``headroom`` times its fair share of
+        ``capacity_rps`` — quota enforcement should bite on *abusive*
+        overload, not on ordinary burstiness.
+        """
+        if capacity_rps <= 0:
+            raise ValueError(f"capacity_rps must be > 0, got {capacity_rps}")
+        if headroom <= 0:
+            raise ValueError(f"headroom must be > 0, got {headroom}")
+        total = sum(shares.values())
+        if total <= 0:
+            raise ValueError("shares must sum to > 0")
+        quota = {
+            tenant: capacity_rps * headroom * share / total
+            for tenant, share in shares.items()
+        }
+        return cls(classes=classes, quota_rps=quota, quota_burst=quota_burst)
+
+    @classmethod
+    def from_queue_stats(
+        cls,
+        lane_stats: Mapping[int, QueueStats],
+        total_tokens: float,
+        slo: float,
+        classes: Optional[Mapping[str, "SloClass"]] = None,
+        quota_burst: float = 8.0,
+    ) -> "TenantFairnessPolicy":
+        """Lift the §4.3.5 M/M/1 token solver from adapter queues to tenants.
+
+        Each tenant lane is an M/M/1 server: ``solve_quotas`` splits the
+        fleet's token capacity into per-lane token quotas (SLO minima plus
+        proportional surplus), and a lane's admission-rate cap is the service
+        rate those tokens buy — ``mu = Tok / (S * D)`` requests/second, the
+        same identity the adapter-level solver is built on.
+        """
+        if not lane_stats:
+            raise ValueError("need at least one tenant lane")
+        tenants = sorted(lane_stats)
+        tokens = solve_quotas(
+            [lane_stats[t] for t in tenants], total_tokens, slo)
+        quota = {}
+        for tenant, tok in zip(tenants, tokens):
+            stats = lane_stats[tenant]
+            s = max(1.0, stats.max_request_tokens)
+            d = max(1e-6, stats.expected_duration)
+            quota[tenant] = tok / (s * d)
+        return cls(classes=classes, quota_rps=quota, quota_burst=quota_burst)
 
 
 class AdmitResult(enum.Enum):

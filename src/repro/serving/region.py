@@ -358,8 +358,14 @@ class ServingRegion:
         """Region-wide :class:`RunSummary` with shard telemetry in
         ``extra``: per-shard routed arrivals and shed counts, the router's
         spill and steal totals, cross-shard queue-handoff counts, and the
-        routed-arrival imbalance (max/mean over shards)."""
-        summary = summarize_run(self.all_requests(), **kwargs)
+        routed-arrival imbalance (max/mean over shards).  With a tenant
+        fairness policy on the shards, the per-tenant block (attainment
+        spread, Jain index, quota work) is computed region-wide — each
+        tenant's ledgers merged across every shard its requests touched
+        (spill and steal move work between shards, so only the merged view
+        is conserved)."""
+        requests = self.all_requests()
+        summary = summarize_run(requests, **kwargs)
         routed = list(self.stats.routed)
         mean_routed = sum(routed) / len(routed)
         summary.extra.update(
@@ -378,4 +384,52 @@ class ServingRegion:
             shard_stolen=[system.cluster.stats.stolen
                           for system in self.systems],
         )
+        if any(system.cluster.tenancy is not None
+               for system in self.systems):
+            self._tenant_block(summary.extra, requests,
+                               kwargs.get("warmup", 0.0))
         return summary
+
+    def _tenant_block(self, extra: dict, requests, warmup: float) -> None:
+        """Region-wide per-tenant fairness accounting (same keys as the
+        single-system block in ``MultiReplicaSystem._tenant_block``, with
+        every tenant's per-shard ledgers summed)."""
+        from repro.metrics.summary import jain_fairness_index, tenant_breakdown
+
+        slo_policy = self.systems[0].slo_policy
+        attained = slo_policy.attained if slo_policy is not None else None
+        breakdown = tenant_breakdown(requests, warmup=warmup,
+                                     attained=attained)
+        tenant_ids = breakdown["tenant_ids"]
+        throttles, borrows, virtual_times, weights = [], [], [], []
+        for tenant in tenant_ids:
+            throttled = borrowed = 0
+            virtual_time, weight = 0.0, 1.0
+            for system in self.systems:
+                book = system.cluster.stats.tenants.get(tenant)
+                if book is not None:
+                    throttled += book.throttled
+                    borrowed += book.borrowed
+                    virtual_time += book.virtual_time
+                    weight = book.weight  # identical on every shard
+            throttles.append(throttled)
+            borrows.append(borrowed)
+            virtual_times.append(virtual_time)
+            weights.append(weight)
+        attainment = [a for a in breakdown["attainment"] if a == a]
+        extra.update(
+            tenant_ids=tenant_ids,
+            tenant_arrivals=breakdown["arrivals"],
+            tenant_completed=breakdown["completed"],
+            tenant_shed=breakdown["shed"],
+            tenant_lost=breakdown["lost"],
+            tenant_attainment=breakdown["attainment"],
+            tenant_attainment_spread=(
+                max(attainment) - min(attainment) if attainment
+                else float("nan")),
+            tenant_fairness_jain=jain_fairness_index(attainment),
+            tenant_quota_throttles=throttles,
+            tenant_quota_borrows=borrows,
+            tenant_virtual_time=virtual_times,
+            tenant_weights=weights,
+        )

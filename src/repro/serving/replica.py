@@ -291,6 +291,7 @@ class MultiReplicaSystem:
         backpressure: bool = True,
         spill_factor: float = 1.5,
         slo_policy: Optional[SloPolicy] = None,
+        tenancy=None,
         replica_specs: Optional[Sequence] = None,
         normalize_capability: bool = True,
         autoscale: Optional[AutoscaleConfig] = None,
@@ -344,6 +345,12 @@ class MultiReplicaSystem:
         The fault RNG is its own named stream (``seed`` + ``"faults"``), so
         the fault times never perturb the workload.  With no fault
         arguments, nothing is built and behaviour is bit-for-bit unchanged.
+
+        ``tenancy`` (a :class:`~repro.serving.admission.TenantFairnessPolicy`)
+        switches the dispatcher's global queue to per-tenant deficit-round-
+        robin lanes with token-bucket admission quotas and adds the
+        per-tenant fairness block to ``summary().extra``; ``None`` keeps the
+        anonymous FIFO path bit-for-bit unchanged.
 
         ``dispatch_index=False`` forces linear-scan dispatch (differential
         baselines; see ``DataParallelCluster``).  ``sim`` shares an
@@ -414,6 +421,7 @@ class MultiReplicaSystem:
             capability_estimator=estimator,
             sim=sim,
             dispatch_index=dispatch_index,
+            tenancy=tenancy,
         )
         system = cls(replicas=replicas, cluster=cluster, sim=sim,
                      slo_policy=slo_policy, factory=factory)
@@ -612,7 +620,57 @@ class MultiReplicaSystem:
             if self.autoscaler is not None:
                 summary.extra.update(
                     self_heal_events=self.autoscaler.self_heal_count)
+        if self.cluster.tenancy is not None:
+            # Keyed on the fairness policy's presence, not on whether the
+            # trace carries tenants: a tenant-labelled trace run without a
+            # tenancy policy (fig31) keeps its summary byte-identical.
+            self._tenant_block(summary.extra, requests, warmup)
         return summary
+
+    def _tenant_block(self, extra: dict, requests, warmup: float) -> None:
+        """Write the per-tenant fairness accounting into ``extra``.
+
+        All lists are parallel to ``tenant_ids`` (sorted, the anonymous
+        ``None`` tenant last).  ``tenant_attainment`` counts shed and
+        unfinished requests against the tenant (like
+        ``cluster_slo_attainment``); its spread (max - min) and Jain index
+        are the fairness headline, and the quota columns expose how hard the
+        token buckets worked (throttle visits, borrow-from-idle admissions).
+        """
+        from repro.metrics.summary import jain_fairness_index, tenant_breakdown
+
+        attained = (self.slo_policy.attained
+                    if self.slo_policy is not None else None)
+        breakdown = tenant_breakdown(requests, warmup=warmup,
+                                     attained=attained)
+        books = self.cluster.stats.tenants
+        tenant_ids = breakdown["tenant_ids"]
+        throttles, borrows, virtual_times, weights = [], [], [], []
+        for tenant in tenant_ids:
+            book = books.get(tenant)
+            throttles.append(book.throttled if book is not None else 0)
+            borrows.append(book.borrowed if book is not None else 0)
+            virtual_times.append(
+                book.virtual_time if book is not None else 0.0)
+            weights.append(book.weight if book is not None else 1.0)
+        attainment = [a for a in breakdown["attainment"]
+                      if a == a]  # drop NaN lanes (no post-warmup arrivals)
+        extra.update(
+            tenant_ids=tenant_ids,
+            tenant_arrivals=breakdown["arrivals"],
+            tenant_completed=breakdown["completed"],
+            tenant_shed=breakdown["shed"],
+            tenant_lost=breakdown["lost"],
+            tenant_attainment=breakdown["attainment"],
+            tenant_attainment_spread=(
+                max(attainment) - min(attainment) if attainment
+                else float("nan")),
+            tenant_fairness_jain=jain_fairness_index(attainment),
+            tenant_quota_throttles=throttles,
+            tenant_quota_borrows=borrows,
+            tenant_virtual_time=virtual_times,
+            tenant_weights=weights,
+        )
 
     def per_replica_counts(self) -> list[int]:
         """Completed requests per replica (load-balance diagnostics)."""

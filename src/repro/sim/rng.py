@@ -32,6 +32,7 @@ STREAM_REGISTRY: dict[str, str] = {
     "predictor": "output-length predictor hit/miss and error draws",
     "faults": "fault injector: MTTF gaps, target picks, repair windows",
     "tenants": "multi-tenant labelling: Zipf tenant draws over a trace",
+    "storm": "hot-tenant storm overlay: Poisson burst arrivals (fig32)",
     "engine0": "spawn scope: per-replica stream family for replica 0",
 }
 

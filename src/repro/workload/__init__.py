@@ -12,6 +12,13 @@ from repro.workload.io import (
     save_trace,
     trace_statistics,
 )
+from repro.workload.tenants import (
+    DEFAULT_SLO_CLASSES,
+    SloClass,
+    TenantPopulation,
+    TenantSpec,
+    inject_hot_tenant_storm,
+)
 from repro.workload.trace import (
     TraceProfile,
     Trace,
@@ -43,4 +50,9 @@ __all__ = [
     "load_trace",
     "save_trace",
     "trace_statistics",
+    "SloClass",
+    "TenantSpec",
+    "TenantPopulation",
+    "DEFAULT_SLO_CLASSES",
+    "inject_hot_tenant_storm",
 ]

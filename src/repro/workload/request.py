@@ -39,6 +39,12 @@ class Request:
             tenant structure.  A region router keyed ``shard_key="tenant"``
             routes on it, pinning each tenant's traffic (and adapter
             residency) to one dispatcher shard.
+        slo_class: Service-class name (e.g. ``"gold"``), or ``None`` for the
+            anonymous single-class workload.  ``SloPolicy.classes`` maps it
+            to a per-class deadline; ``TenantFairnessPolicy`` maps it to a
+            dispatch weight.  Unrecognized or absent names fall back to the
+            policy's global deadline, so class-labelled traces replay
+            unchanged against class-blind policies.
         predicted_output_tokens: The proxy predictor's estimate, filled in at
             submission time.
     """
@@ -49,6 +55,7 @@ class Request:
     output_tokens: int
     adapter_id: Optional[int] = None
     tenant_id: Optional[int] = None
+    slo_class: Optional[str] = None
     predicted_output_tokens: Optional[int] = None
 
     # -- engine-side mutable state -------------------------------------- #

@@ -106,6 +106,7 @@ class Trace:
                 output_tokens=r.output_tokens,
                 adapter_id=r.adapter_id,
                 tenant_id=r.tenant_id,
+                slo_class=r.slo_class,
             )
             for r in self.requests
         ]
@@ -125,6 +126,13 @@ class Trace:
             raise ValueError(f"n_tenants must be >= 1, got {n_tenants}")
         if skew < 0:
             raise ValueError(f"skew must be >= 0, got {skew}")
+        if not self.requests:
+            return self
+        # Deliberately NOT distributions.zipf_weights: pow(x, -a) and
+        # 1/pow(x, a) differ by an ulp, and any weight change can flip
+        # rng.choice draws — the historical labelling must stay byte-stable.
+        # test_tenant_edge_cases pins the two formulas allclose so the
+        # normalization can't silently drift apart.
         weights = np.array(
             [1.0 / (t + 1) ** skew for t in range(n_tenants)])
         draws = rng.choice(n_tenants, size=len(self.requests),
@@ -154,6 +162,7 @@ def synthesize_trace(
     burst_factor: float = 3.0,
     burst_fraction: float = 0.1,
     burst_cycle: float = 120.0,
+    burst_phase: float = 0.0,
 ) -> Trace:
     """Generate a request stream.
 
@@ -167,16 +176,18 @@ def synthesize_trace(
         adapter_popularity: ``"uniform"`` or ``"powerlaw"`` over adapters within
             a rank (the paper's default is power-law).
         powerlaw_alpha: Zipf exponent for the power-law choices.
-        burst_factor / burst_fraction / burst_cycle: Burst shape for bursty
-            profiles (see :func:`bursty_arrival_times`); the defaults match
-            the historical fixed values, so existing traces are unchanged.
-            Diurnal/flash-crowd scenarios (e.g. the autoscaling experiments)
-            crank these up.
+        burst_factor / burst_fraction / burst_cycle / burst_phase: Burst
+            shape for bursty profiles (see :func:`bursty_arrival_times`); the
+            defaults match the historical fixed values, so existing traces
+            are unchanged.  Diurnal/flash-crowd scenarios (e.g. the
+            autoscaling experiments) crank these up; tenant populations
+            stagger ``burst_phase`` per tenant.
     """
     if profile.bursty:
         arrivals = bursty_arrival_times(
             rng, rps, duration, burst_factor=burst_factor,
-            burst_fraction=burst_fraction, cycle=burst_cycle)
+            burst_fraction=burst_fraction, cycle=burst_cycle,
+            phase=burst_phase)
     else:
         arrivals = poisson_arrival_times(rng, rps, duration)
     n = arrivals.size

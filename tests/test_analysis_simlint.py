@@ -27,7 +27,9 @@ BAD_FIXTURES = [
     "bad_d004.py",
     "bad_d005.py",
     "bad_d006.py",
-    "d007",
+    # Lives under serving/ so the fixture's package-relative path falls
+    # inside the pyproject D007 scope, mirroring serving/bad_d003.py.
+    "serving/d007",
     "bad_d008.py",
 ]
 
@@ -112,7 +114,7 @@ def test_d006_flags_unregistered_and_dynamic_stream_names():
 
 
 def test_d007_flags_read_of_never_written_key():
-    violations = lint("d007")
+    violations = lint("serving/d007")
     assert [v.code for v in violations] == ["D007"]
     assert "never_written_key" in violations[0].message
     assert violations[0].path.endswith("reader.py")

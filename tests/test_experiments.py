@@ -12,6 +12,7 @@ def test_registry_covers_all_figures():
         f"fig{n}" for n in range(11, 28)} | {
         "fig28_autoscale", "fig29_predictive_autoscale",
         "fig30_fault_recovery", "fig31_region_scaling",
+        "fig32_tenant_fairness",
         "abl_wrs_degree", "abl_eviction_weights", "abl_gdsf",
         "abl_load_stall", "abl_dp_dispatch", "abl_slo_admission",
         "abl_capability_estimator", "abl_fault_chaos"}

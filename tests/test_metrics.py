@@ -11,9 +11,11 @@ from repro.llm.model import LLAMA_7B
 from repro.metrics.summary import (
     cdf_points,
     compute_slo,
+    jain_fairness_index,
     percentile,
     slowdowns,
     summarize_run,
+    tenant_breakdown,
     throughput_under_slo,
     windowed_p99_ttft,
 )
@@ -145,3 +147,70 @@ def test_throughput_under_slo_validates():
         throughput_under_slo([], [], slo=1.0)
     with pytest.raises(ValueError):
         throughput_under_slo([1.0], [1.0, 2.0], slo=1.0)
+
+
+def test_jain_fairness_hand_computed():
+    assert jain_fairness_index([1.0, 1.0, 1.0, 1.0]) == pytest.approx(1.0)
+    # One member holds everything: (1)^2 / (4 * 1) = 1/n.
+    assert jain_fairness_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+    # (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+    assert jain_fairness_index([1.0, 2.0, 3.0]) == pytest.approx(36.0 / 42.0)
+    assert jain_fairness_index([0.0, 0.0]) == pytest.approx(1.0)
+    assert math.isnan(jain_fairness_index([]))
+    with pytest.raises(ValueError):
+        jain_fairness_index([1.0, -0.5])
+
+
+def _tenant_req(rid, tenant, arrival=0.0, ttft=0.1, done=True,
+                shed=False, lost=False):
+    if done:
+        r = _finished(rid, arrival, ttft, e2e=1.0)
+    else:
+        r = Request(request_id=rid, arrival_time=arrival,
+                    input_tokens=10, output_tokens=5)
+        r.shed = shed
+        r.lost = lost
+    r.tenant_id = tenant
+    return r
+
+
+def test_tenant_breakdown_hand_computed():
+    reqs = [
+        _tenant_req(0, tenant=0),                      # done
+        _tenant_req(1, tenant=0),                      # done
+        _tenant_req(2, tenant=0, done=False, shed=True),
+        _tenant_req(3, tenant=1),                      # done
+        _tenant_req(4, tenant=1, done=False, lost=True),
+        _tenant_req(5, tenant=None),                   # anonymous, done
+    ]
+    out = tenant_breakdown(reqs)
+    assert out["tenant_ids"] == [0, 1, None]  # None sorts last
+    assert out["arrivals"] == [3, 2, 1]
+    assert out["completed"] == [2, 1, 1]
+    assert out["shed"] == [1, 0, 0]
+    assert out["lost"] == [0, 1, 0]
+    # No predicate: attainment is the plain completion ratio.
+    assert out["attainment"] == pytest.approx([2 / 3, 1 / 2, 1.0])
+
+
+def test_tenant_breakdown_attained_predicate_counts_unfinished_against():
+    reqs = [
+        _tenant_req(0, tenant=0, ttft=0.1),            # within deadline
+        _tenant_req(1, tenant=0, ttft=5.0),            # finished but late
+        _tenant_req(2, tenant=0, done=False, shed=True),
+    ]
+    out = tenant_breakdown(reqs, attained=lambda r: r.ttft <= 1.0)
+    # 1 attained of 3 arrivals: late and shed both count against.
+    assert out["attainment"] == pytest.approx([1 / 3])
+
+
+def test_tenant_breakdown_warmup_and_empty():
+    reqs = [
+        _tenant_req(0, tenant=0, arrival=1.0),
+        _tenant_req(1, tenant=1, arrival=10.0),
+    ]
+    out = tenant_breakdown(reqs, warmup=5.0)
+    assert out["tenant_ids"] == [1]
+    assert out["arrivals"] == [1]
+    empty = tenant_breakdown([])
+    assert empty["tenant_ids"] == [] and empty["arrivals"] == []
