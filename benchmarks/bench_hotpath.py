@@ -23,6 +23,7 @@ and records the speedup against it.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import resource
@@ -77,12 +78,21 @@ def build_trace(n_requests: int, rps: float, seed: int = 7) -> list:
     ]
 
 
-def run_hotpath(n_requests: int, rps: float, n_replicas: int) -> dict:
+def run_hotpath(n_requests: int, rps: float, n_replicas: int,
+                traced: bool = False) -> dict:
     requests = build_trace(n_requests, rps)
     system = MultiReplicaSystem.build(
         "slora", n_replicas=n_replicas, dispatch_policy="least_loaded",
         predictor_accuracy=None, seed=0,
     )
+    tracer = None
+    if traced:
+        from repro.obs import Tracer
+        tracer = Tracer()
+        system.attach_tracer(tracer)
+    # Sweep garbage from setup (and, under --repeat, from prior runs) so
+    # every timed section starts from the same heap state.
+    gc.collect()
     start = time.perf_counter()
     system.run_trace(requests)
     elapsed = time.perf_counter() - start
@@ -93,7 +103,7 @@ def run_hotpath(n_requests: int, rps: float, n_replicas: int) -> dict:
             f"bench trace did not complete: {finished}/{n_requests} finished")
     # ru_maxrss is KiB on Linux.
     peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
-    return {
+    record = {
         "n_requests": n_requests,
         "rps": rps,
         "n_replicas": n_replicas,
@@ -102,6 +112,10 @@ def run_hotpath(n_requests: int, rps: float, n_replicas: int) -> dict:
         "events_per_sec": round(events / elapsed, 1),
         "peak_rss_mb": round(peak_rss_mb, 1),
     }
+    if tracer is not None:
+        record["traced"] = True
+        record["spans"] = len(tracer.spans)
+    return record
 
 
 def run_region_scale(n_requests: int, total_replicas: int, *,
@@ -182,11 +196,25 @@ def time_headline_figs() -> dict:
     return timings
 
 
-def _print_profile(profiler, top_n: int) -> None:
+def _print_profile(profiler, top_n: int, json_path=None) -> None:
+    """Print the top-N cumulative functions and persist the raw stats.
+
+    The binary dump lands next to the ``--json`` artifact (or in the
+    working directory without one) so it survives the run for snakeviz /
+    ``pstats`` digging — the printed top-N alone is not enough to chase
+    a regression after the fact.
+    """
     import pstats
 
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats("cumulative").print_stats(top_n)
+    if json_path:
+        prof_path = os.path.splitext(json_path)[0] + ".prof"
+    else:
+        prof_path = "bench_hotpath.prof"
+    profiler.dump_stats(prof_path)
+    print(f"wrote profile to {prof_path} "
+          f"(inspect with python -m pstats {prof_path})")
 
 
 def main() -> int:
@@ -211,6 +239,18 @@ def main() -> int:
                         metavar="EV_S",
                         help="exit non-zero when the widest indexed region "
                              "point lands below this events/sec")
+    parser.add_argument("--traced", action="store_true",
+                        help="re-run the hotpath point with a repro.obs "
+                             "Tracer attached and record the overhead delta")
+    parser.add_argument("--check-max-overhead", type=float, default=None,
+                        metavar="PCT",
+                        help="with --traced: exit non-zero when tracing "
+                             "costs more than PCT%% throughput")
+    parser.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="run the hotpath point (and the --traced "
+                             "re-run) N times and keep the fastest of "
+                             "each — damps shared-runner noise when "
+                             "gating on the overhead delta")
     parser.add_argument("--baseline", type=str, default=None,
                         help="previous --json output to compute speedup against")
     parser.add_argument("--json", type=str, default=None, metavar="PATH",
@@ -229,7 +269,7 @@ def main() -> int:
         points = run_region_sweep(region_n)
         if profiler is not None:
             profiler.disable()
-            _print_profile(profiler, args.profile)
+            _print_profile(profiler, args.profile, args.json)
         result = {
             "region": points,
             "ci_gate": {
@@ -256,17 +296,45 @@ def main() -> int:
         return 0
 
     n = 100_000 if args.smoke else args.requests
+    repeats = max(1, args.repeat)
+
+    def best_of(run) -> dict:
+        # Fastest of N runs: elapsed-time noise on shared runners is
+        # strictly additive, so the minimum is the least-polluted sample.
+        best = None
+        for _ in range(repeats):
+            record = run()
+            if best is None or record["events_per_sec"] > best["events_per_sec"]:
+                best = record
+        if repeats > 1:
+            best["repeats"] = repeats
+        return best
+
     if profiler is not None:
         profiler.enable()
-    result = {"hotpath": run_hotpath(n, args.rps, args.replicas)}
+    result = {"hotpath": best_of(
+        lambda: run_hotpath(n, args.rps, args.replicas))}
     if profiler is not None:
         profiler.disable()
-        _print_profile(profiler, args.profile)
+        _print_profile(profiler, args.profile, args.json)
     hp = result["hotpath"]
     print(f"hotpath: {hp['n_requests']:,} requests over {hp['n_replicas']} "
           f"replicas -> {hp['events']:,} events in {hp['elapsed_s']}s "
           f"= {hp['events_per_sec']:,.0f} events/s "
           f"(peak RSS {hp['peak_rss_mb']:.0f} MB)")
+
+    if args.traced:
+        traced = best_of(
+            lambda: run_hotpath(n, args.rps, args.replicas, traced=True))
+        overhead_pct = round(
+            100.0 * (1.0 - traced["events_per_sec"] / hp["events_per_sec"]),
+            1)
+        traced["overhead_pct"] = overhead_pct
+        result["traced"] = traced
+        print(f"traced:  {traced['events']:,} events in "
+              f"{traced['elapsed_s']}s = {traced['events_per_sec']:,.0f} "
+              f"events/s ({traced['spans']:,} spans, "
+              f"overhead {overhead_pct:+.1f}%)")
 
     if args.baseline:
         with open(args.baseline) as fh:
@@ -298,6 +366,17 @@ def main() -> int:
         print(f"FAIL: {hp['events_per_sec']:,.0f} events/s is below the "
               f"pinned minimum {threshold:,.0f}", file=sys.stderr)
         return 1
+    if args.check_max_overhead is not None:
+        if "traced" not in result:
+            print("FAIL: --check-max-overhead needs --traced",
+                  file=sys.stderr)
+            return 1
+        if result["traced"]["overhead_pct"] > args.check_max_overhead:
+            print(f"FAIL: tracing overhead "
+                  f"{result['traced']['overhead_pct']:.1f}% exceeds the "
+                  f"pinned maximum {args.check_max_overhead:.1f}%",
+                  file=sys.stderr)
+            return 1
     return 0
 
 

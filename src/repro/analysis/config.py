@@ -42,6 +42,8 @@ DEFAULT_ALLOW: Mapping[str, tuple[str, ...]] = {
     "D001": ("sim/rng.py",),
     # The single sanctioned wall-clock door (elapsed-time reporting).
     "D002": ("util/wallclock.py",),
+    # The single sanctioned file-write door: post-run telemetry export.
+    "D009": ("obs/export.py",),
 }
 
 #: Where a rule applies at all (unset = everywhere).
@@ -49,6 +51,11 @@ DEFAULT_SCOPE: Mapping[str, tuple[str, ...]] = {
     # Unordered iteration only corrupts determinism where it can reach
     # event scheduling or summaries: the simulation path.
     "D003": ("sim/", "serving/", "faults/", "hardware/"),
+    # File writes are banned *during* a run: the modules that execute on
+    # the simulated clock.  Offline tooling (workload generation, the
+    # CLI, experiment tables) writes artifacts freely.
+    "D009": ("sim/", "serving/", "faults/", "hardware/", "adapters/",
+             "obs/"),
 }
 
 

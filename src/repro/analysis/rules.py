@@ -16,6 +16,7 @@ D005      ``id()``-based ordering / hash-order tiebreaks
 D006      unregistered or non-literal ``RngStreams`` stream names
 D007      ``summary().extra`` key drift between writers and readers
 D008      blanket ``type: ignore`` without an error code
+D009      file writes from runtime modules (telemetry exports only)
 ========  ==========================================================
 
 (D000, malformed/unjustified suppression comments, is emitted by the
@@ -703,6 +704,77 @@ class BareTypeIgnoreRule(Rule):
                     )
         except tokenize.TokenError:  # pragma: no cover - ast parsed already
             return
+
+
+# --------------------------------------------------------------------- #
+# D009 — file writes on the simulation path
+# --------------------------------------------------------------------- #
+
+
+@register
+class FileWriteRule(Rule):
+    """Runtime modules must not open files for writing.
+
+    A mid-run file write is a hidden side channel: it can block on the
+    OS, its failure modes are invisible to the simulator, and its output
+    interleaving depends on host state rather than the event order.  All
+    run telemetry flows through in-memory sinks (``repro.obs``) and is
+    exported *after* the run by the sanctioned exporter module.
+    """
+
+    code = "D009"
+    name = "runtime-file-write"
+    rationale = ("a file write inside a runtime module is a hidden side "
+                 "channel with host-dependent interleaving; telemetry "
+                 "must buffer in memory and export after the run")
+    hint = ("collect into a repro.obs sink during the run and write via "
+            "repro.obs.export afterwards")
+
+    #: ``open()`` mode characters that make the handle writable.
+    _WRITE_CHARS = frozenset("wax+")
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        if not self.in_scope(module):
+            return
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in ("write_text", "write_bytes")):
+                yield self.violation(
+                    module, node,
+                    f".{func.attr}() writes a file from a runtime module")
+                continue
+            target = canonical_call_target(node, aliases)
+            if target not in ("open", "builtins.open", "io.open",
+                              "os.fdopen"):
+                continue
+            mode = self._literal_mode(node)
+            if mode is not None and self._WRITE_CHARS & set(mode):
+                yield self.violation(
+                    module, node,
+                    f"open(..., {mode!r}) writes a file from a runtime "
+                    "module")
+
+    @staticmethod
+    def _literal_mode(node: ast.Call) -> str | None:
+        """The literal mode string of an ``open`` call, else ``None``.
+
+        Only statically decidable modes are reported: a computed mode is
+        skipped rather than guessed at.
+        """
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                value = keyword.value
+                return (value.value
+                        if isinstance(value, ast.Constant)
+                        and isinstance(value.value, str) else None)
+        if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant) \
+                and isinstance(node.args[1].value, str):
+            return node.args[1].value
+        return None
 
 
 def rule_catalogue() -> Iterable[type[Rule]]:

@@ -408,11 +408,133 @@ def _cluster_main(argv) -> int:
     return 0
 
 
+def _trace_main(argv) -> int:
+    """Record one run with the tracer + metrics registry attached and
+    export it: a Chrome/Perfetto trace-event JSON (open the file at
+    ui.perfetto.dev — one track per dispatcher shard, one per replica),
+    an optional metrics CSV/JSON timeseries, and a span-waterfall report
+    for the slowest requests."""
+    from repro.experiments.common import standard_registry, standard_trace
+    from repro.hardware.cluster import DataParallelCluster
+    from repro.obs import MetricsRegistry, Tracer
+    from repro.obs.export import slow_trace_report, write_metrics, write_perfetto
+    from repro.serving.admission import SloPolicy
+    from repro.serving.replica import MultiReplicaSystem
+    from repro.systems import PRESETS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli trace",
+        description="Record a run's request-lifecycle telemetry and export "
+                    "a Perfetto-openable trace (see repro.obs).",
+    )
+    parser.add_argument("--out", default="trace.json", metavar="PATH",
+                        help="Chrome/Perfetto trace-event JSON output "
+                             "(default trace.json; load it at "
+                             "ui.perfetto.dev)")
+    parser.add_argument("--preset", default="chameleon", choices=PRESETS)
+    parser.add_argument("--replicas", type=int, default=2,
+                        help="replica count (per shard with --shards > 1)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="dispatcher shards; > 1 records a region run "
+                             "with spill/steal annotations")
+    parser.add_argument("--policy", default="least_loaded",
+                        choices=DataParallelCluster.POLICIES)
+    parser.add_argument("--rps", type=float, default=20.0)
+    parser.add_argument("--duration", type=float, default=60.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--slo-ttft", type=float, default=None,
+                        metavar="SECONDS",
+                        help="TTFT deadline enabling SLO admission control "
+                             "(shed/deprioritize instants land on the "
+                             "dispatcher track)")
+    parser.add_argument("--slowest", type=int, default=0, metavar="K",
+                        help="print span waterfalls for the K worst-TTFT "
+                             "requests")
+    parser.add_argument("--metrics", metavar="PATH",
+                        help="also dump the sampled metrics timeseries "
+                             "(.csv or .json; render the .json with "
+                             "repro.experiments.report.metrics_markdown)")
+    parser.add_argument("--metrics-interval", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="metrics sampling period (default 5)")
+    args = parser.parse_args(argv)
+    if args.replicas < 1:
+        parser.error(f"--replicas must be >= 1, got {args.replicas}")
+    if args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
+    if args.slowest < 0:
+        parser.error(f"--slowest must be >= 0, got {args.slowest}")
+    if args.metrics_interval <= 0:
+        parser.error(f"--metrics-interval must be > 0, "
+                     f"got {args.metrics_interval}")
+    if args.slo_ttft is not None and args.slo_ttft <= 0:
+        parser.error(f"--slo-ttft must be > 0, got {args.slo_ttft}")
+
+    registry = standard_registry()
+    trace = standard_trace(args.rps, args.duration, registry, seed=args.seed)
+    slo_policy = (SloPolicy(ttft_deadline=args.slo_ttft)
+                  if args.slo_ttft is not None else None)
+    if args.shards > 1:
+        from repro.serving.region import RegionConfig, ServingRegion
+
+        system = ServingRegion.build(
+            args.preset, n_replicas=args.replicas,
+            dispatch_policy=args.policy, seed=args.seed, registry=registry,
+            slo_policy=slo_policy, region=RegionConfig(n_shards=args.shards))
+        sim = system.sim
+    else:
+        from repro.sim.simulator import Simulator
+
+        sim = Simulator()
+        system = MultiReplicaSystem.build(
+            args.preset, n_replicas=args.replicas,
+            dispatch_policy=args.policy, sim=sim, seed=args.seed,
+            registry=registry, slo_policy=slo_policy)
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    system.attach_tracer(tracer)
+    system.attach_metrics(metrics)
+    metrics.install(sim, args.metrics_interval, until=args.duration)
+
+    watch = Stopwatch()
+    system.run_trace(trace.fresh())
+    summary = system.summary()
+
+    write_perfetto(tracer, args.out)
+    print(f"[trace] {args.preset} x{args.replicas}"
+          f"{f' x{args.shards} shards' if args.shards > 1 else ''} "
+          f"policy={args.policy} @ {args.rps} RPS for {args.duration}s "
+          f"(seed {args.seed})")
+    print(f"  completed requests        {summary.n_requests}")
+    print(f"  p50/p99 TTFT              {summary.p50_ttft:.3f}s / "
+          f"{summary.p99_ttft:.3f}s")
+    print(f"  spans recorded            {len(tracer.spans)} "
+          f"({', '.join(sorted(tracer.span_names()))})")
+    if tracer.instants:
+        print(f"  annotations               {len(tracer.instants)} "
+              f"({', '.join(sorted(tracer.instant_names()))})")
+    print(f"  tracks                    {len(tracer.tracks)} "
+          f"(1 dispatcher/shard + 1/replica)")
+    print(f"  wrote {args.out} (open at ui.perfetto.dev)")
+    if args.metrics:
+        write_metrics(metrics, args.metrics)
+        print(f"  wrote {args.metrics} ({len(metrics.samples)} samples x "
+              f"{len(metrics.column_names())} columns)")
+    if args.slowest:
+        print()
+        print(slow_trace_report(tracer, args.slowest))
+    print(f"(elapsed: {watch.elapsed():.1f}s)")
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "cluster":
         return _cluster_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     if argv and argv[0] == "lint":
         # Determinism-discipline analyzer (see repro.analysis): checks the
         # package tree by default, or any paths passed after 'lint'.
@@ -425,8 +547,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument("experiment",
                         help="experiment id (e.g. fig11), 'all', 'list', "
-                             "'cluster', or 'lint' (see '<subcommand> "
-                             "--help')")
+                             "'cluster', 'trace', or 'lint' (see "
+                             "'<subcommand> --help')")
     parser.add_argument("--quick", action="store_true",
                         help="shrink durations for a fast, noisier pass")
     parser.add_argument("--param", action="append", default=[],

@@ -63,6 +63,41 @@ def render_markdown(results: Sequence[ExperimentResult], title: str = "Results")
     return "\n".join(parts)
 
 
+def metrics_markdown(source: Union[str, Path, dict],
+                     title: str = "Run metrics") -> str:
+    """Render a :class:`repro.obs.MetricsRegistry` dump as markdown.
+
+    ``source`` is either the JSON file written by
+    ``repro.obs.export.write_metrics`` (or the already-loaded payload
+    dict): the sampled timeseries becomes one table, and each
+    histogram's summary becomes a row of a second one."""
+    if isinstance(source, dict):
+        payload = source
+    else:
+        payload = json.loads(Path(source).read_text())
+    parts = [f"# {title}", ""]
+    samples = payload.get("samples", [])
+    if samples:
+        # JSON round-trips sort row keys; the registry's column order
+        # (time, counters, gauges) is recorded separately — restore it.
+        columns = payload.get("columns")
+        if columns:
+            samples = [{c: row.get(c) for c in columns} for row in samples]
+        parts.append("## Sampled timeseries")
+        parts.append("")
+        parts.append(_markdown_table(samples))
+        parts.append("")
+    histograms = payload.get("histograms", {})
+    if histograms:
+        rows = [dict(metric=name, **summary)
+                for name, summary in sorted(histograms.items())]
+        parts.append("## Histograms")
+        parts.append("")
+        parts.append(_markdown_table(rows))
+        parts.append("")
+    return "\n".join(parts)
+
+
 def report_from_json(path: Union[str, Path], title: str = "Results") -> str:
     """Render the JSON written by ``python -m repro.cli ... --json``."""
     payload = json.loads(Path(path).read_text())

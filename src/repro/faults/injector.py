@@ -61,6 +61,14 @@ class SimClock(Protocol):
                     *args: Any) -> Any: ...
 
 
+class TracerLike(Protocol):
+    """The slice of :class:`repro.obs.Tracer` the injector drives (duck-
+    typed: this module never imports ``repro.obs``)."""
+
+    def instant(self, name: str, time: float, tid: int,
+                **args: object) -> Any: ...
+
+
 class ReplicaLike(Protocol):
     """Lifecycle surface of a cluster replica handle."""
 
@@ -254,6 +262,16 @@ class FaultInjector:
         self.recovers = 0
         self._until: Optional[float] = None
         self._started = False
+        #: Observability hook (see repro.obs): ``None`` keeps the ``_log``
+        #: hook site a bare attribute check.
+        self._tracer: Optional[TracerLike] = None
+        self._trace_tid = 1
+
+    def attach_tracer(self, tracer: TracerLike, tid: int = 1) -> None:
+        """Mirror every fault-log entry as a ``fault`` instant on the
+        dispatcher track ``tid`` of the attached tracer."""
+        self._tracer = tracer
+        self._trace_tid = tid
 
     # ------------------------------------------------------------------ #
     def _simulator(self) -> Optional[SimClock]:
@@ -385,3 +403,6 @@ class FaultInjector:
         entry: dict[str, object] = dict(time=time, kind=kind, replica=replica)
         entry.update(extra)
         self.log.append(entry)
+        if self._tracer is not None:
+            self._tracer.instant("fault", time, self._trace_tid,
+                                 kind=kind, replica=replica, **extra)

@@ -299,6 +299,19 @@ class DataParallelCluster:
         self.normalize_capability = normalize_capability
         self.capability_estimator = capability_estimator
         self.stats = DispatchStats()
+        # Observability hooks (see repro.obs): both default to None, and
+        # every hook site is guarded by an `is not None` attribute check —
+        # the disabled path never makes a call.  `attach_tracer` /
+        # `attach_metrics` set them after construction; the tid fields are
+        # pre-seeded for shard 0 so a tracer attached without a region
+        # still lands on valid tracks.
+        self._tracer = None
+        self._trace_shard = 0
+        self._trace_tid = 1           # dispatcher_tid(0)
+        self._replica_tid_base = 1000  # replica_tid(0, i) - i
+        self._metrics = None
+        self._metrics_prefix = ""
+        self._metrics_ttft = None
         self._sim = sim
         self._sim_memo = None  # resolved clock, cached on first use
         self._rng = rng if rng is not None else np.random.default_rng(0)  # simlint: ignore[D001] -- dispatch RNG byte stream pinned since PR 1; moving it into RngStreams would re-pair every fig26-fig30 baseline
@@ -649,10 +662,20 @@ class DataParallelCluster:
                     request.shed = True
                     self.stats.shed += 1
                     self._shed.append(request)
+                    if self._tracer is not None:
+                        self._tracer.instant(
+                            "slo_shed", self._now(), self._trace_tid,
+                            request_id=request.request_id,
+                            **self.slo_policy.trace_args(request, deadline))
                     return None
                 request.deprioritized = True
                 self.stats.deprioritized += 1
                 self.stats.queued += 1
+                if self._tracer is not None:
+                    self._tracer.instant(
+                        "slo_deprioritize", self._now(), self._trace_tid,
+                        request_id=request.request_id,
+                        **self.slo_policy.trace_args(request, deadline))
                 self._low_queue.append((request, self._now()))
                 self._drain()
                 return None
@@ -780,6 +803,10 @@ class DataParallelCluster:
     def _on_engine_finish(self, handle, request) -> None:
         now = self._now()
         self.stats.finishes += 1
+        if self._metrics_ttft is not None:
+            first = request.first_token_time
+            if first is not None:
+                self._metrics_ttft.observe(first - request.arrival_time)
         idx = handle.index
         self._inflight[idx] -= 1
         if self._fast[idx]:
@@ -842,6 +869,11 @@ class DataParallelCluster:
         delay = self._now() - enqueued_at
         request.dispatch_queue_delay += delay
         self.stats.queue_delays.append(delay)
+        if self._tracer is not None:
+            self._tracer.span(
+                "dispatch", enqueued_at, self._now(), self._trace_tid,
+                request.request_id,
+                lane="low" if request.deprioritized else "fifo")
         self._submit(request)
 
     # ------------------------------------------------------------------ #
@@ -905,12 +937,22 @@ class DataParallelCluster:
                     self.stats.shed += 1
                     book.shed += 1
                     self._shed.append(request)
+                    if self._tracer is not None:
+                        self._tracer.instant(
+                            "slo_shed", self._now(), self._trace_tid,
+                            request_id=request.request_id, lane="drr",
+                            **self.slo_policy.trace_args(request, deadline))
                     return None
                 request.deprioritized = True
                 self.stats.deprioritized += 1
                 self.stats.queued += 1
                 book.deprioritized += 1
                 book.queued += 1
+                if self._tracer is not None:
+                    self._tracer.instant(
+                        "slo_deprioritize", self._now(), self._trace_tid,
+                        request_id=request.request_id, lane="drr",
+                        **self.slo_policy.trace_args(request, deadline))
                 self._low_queue.append((request, self._now()))
                 self._drain_fair()
                 return None
@@ -971,6 +1013,17 @@ class DataParallelCluster:
         delay = self._now() - enqueued_at
         request.dispatch_queue_delay += delay
         self.stats.queue_delays.append(delay)
+        if self._tracer is not None:
+            # The DRR lane wait, annotated with the lane's carried deficit
+            # at release time — the "why did this tenant wait" answer.
+            key = getattr(request, "tenant_id", None)
+            args = dict(lane="low" if request.deprioritized else "drr")
+            if key is not None:
+                args["tenant"] = key
+                args["deficit"] = round(self._deficit.get(key, 0.0), 6)
+            self._tracer.span(
+                "dispatch", enqueued_at, self._now(), self._trace_tid,
+                request.request_id, **args)
         self._submit_fair(request, self._book(request))
 
     def _drain_fair(self) -> None:
@@ -1137,6 +1190,10 @@ class DataParallelCluster:
         if self.capability_estimator is not None:
             self.capability_estimator.register(index, self._caps_raw[index])
         self._register_finish(handle)
+        if self._tracer is not None:
+            self._attach_engine_tracer(engine, index)
+        if self._metrics is not None:
+            self._register_replica_gauge(index)
         self._log_transition(handle)
         if provision_delay > 0:
             handle.pending_event = self._simulator().schedule(
@@ -1263,6 +1320,11 @@ class DataParallelCluster:
             handle.stalled = True
             self.stats.stalls += 1
             self.lifecycle_log.append((now, handle.index, "stalled"))
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "lifecycle", now,
+                    self._replica_tid_base + handle.index,
+                    replica=handle.index, state="stalled")
             self._refresh_eligible()
         self._stall_until[index] = max(
             self._stall_until.get(index, 0.0), now + duration)
@@ -1277,6 +1339,11 @@ class DataParallelCluster:
         handle.stalled = False
         self.lifecycle_log.append(
             (self._now(), handle.index, handle.state.value))
+        if self._tracer is not None:
+            self._tracer.instant(
+                "lifecycle", self._now(),
+                self._replica_tid_base + handle.index,
+                replica=handle.index, state=handle.state.value)
         self._refresh_eligible()
         self._drain()  # the survivor can absorb queued work immediately
         self._notify_capacity()
@@ -1295,6 +1362,11 @@ class DataParallelCluster:
             self.migration_log.append(dict(
                 time=now, request_id=request.request_id,
                 from_replica=from_index, retry=request.retry_count))
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "migrate", now, self._trace_tid,
+                    request_id=request.request_id,
+                    from_replica=from_index, retry=request.retry_count)
             self.dispatch(request)
 
     def lost_requests(self) -> list:
@@ -1333,6 +1405,11 @@ class DataParallelCluster:
     def _log_transition(self, handle) -> None:
         self.lifecycle_log.append(
             (self._now(), handle.index, handle.state.value))
+        if self._tracer is not None:
+            self._tracer.instant(
+                "lifecycle", self._now(),
+                self._replica_tid_base + handle.index,
+                replica=handle.index, state=handle.state.value)
         self._refresh_eligible()
 
     def active_indices(self) -> list:
@@ -1397,6 +1474,87 @@ class DataParallelCluster:
         return total
 
     # ------------------------------------------------------------------ #
+    # Observability hooks (see repro.obs)
+    # ------------------------------------------------------------------ #
+    def attach_tracer(self, tracer, shard: int = 0) -> None:
+        """Attach a :class:`repro.obs.Tracer` to this dispatcher and its
+        engines (current fleet and any replica provisioned later).
+
+        ``shard`` places the cluster's tracks in a region's layout:
+        dispatcher shard ``s`` gets tid ``s + 1`` and its replicas tids
+        ``1000 * (s + 1) + index``.  Attaching records nothing by itself
+        and schedules no simulator events, so an attached run's
+        ``summary()`` is identical to a detached one.
+        """
+        from repro.obs.tracer import REPLICA_TID_STRIDE, dispatcher_tid
+        self._tracer = tracer
+        self._trace_shard = shard
+        self._trace_tid = dispatcher_tid(shard)
+        self._replica_tid_base = REPLICA_TID_STRIDE * (shard + 1)
+        tracer.register_track(self._trace_tid, f"s{shard}/dispatcher")
+        for handle in self.handles:
+            self._attach_engine_tracer(handle.engine, handle.index)
+
+    def _attach_engine_tracer(self, engine, index: int) -> None:
+        tid = self._replica_tid_base + index
+        self._tracer.register_track(
+            tid, f"s{self._trace_shard}/replica{index}")
+        engine._tracer = self._tracer
+        engine._trace_tid = tid
+
+    def attach_metrics(self, registry, prefix: str = "") -> None:
+        """Register this cluster's standard gauges on ``registry``.
+
+        All gauges are read-only probes over state the cluster already
+        maintains (O(1) caches where the hot path has them); sampling
+        them cannot perturb the run.  ``prefix`` namespaces the metric
+        names (a region prefixes per shard: ``s0_``, ``s1_``, ...).
+        """
+        self._metrics = registry
+        self._metrics_prefix = prefix
+        self._metrics_ttft = registry.histogram(prefix + "ttft")
+        registry.gauge(prefix + "queue_depth", self.queue_len)
+        registry.gauge(prefix + "in_flight", self.total_in_flight)
+        registry.gauge(prefix + "active_replicas", self.active_count)
+        registry.gauge(prefix + "finished_total",
+                       lambda: self.stats.finishes)
+        registry.gauge(prefix + "shed_total", lambda: self.stats.shed)
+        registry.gauge(prefix + "cache_hit_rate", self._hit_rate_metric)
+        registry.gauge(prefix + "gpu_used_bytes", self._gpu_bytes_metric)
+        if self.tenancy is not None:
+            registry.gauge(prefix + "lane_backlog",
+                           lambda: self._fair_backlog)
+            registry.gauge(prefix + "lane_deficit_total",
+                           lambda: float(sum(self._deficit.values())))
+        for handle in self.handles:
+            self._register_replica_gauge(handle.index)
+
+    def _register_replica_gauge(self, index: int) -> None:
+        self._metrics.gauge(
+            f"{self._metrics_prefix}replica{index}_in_flight",
+            lambda idx=index: float(self._count(idx)))
+
+    def _hit_rate_metric(self) -> float:
+        """Lookup-weighted aggregate adapter-cache hit rate (0.0 cold)."""
+        hits = lookups = 0
+        for engine in self.engines:
+            stats = getattr(getattr(engine, "adapter_manager", None),
+                            "stats", None)
+            if stats is None:
+                continue
+            hits += stats.hits
+            lookups += stats.hits + stats.misses + stats.overlapped
+        return hits / lookups if lookups else 0.0
+
+    def _gpu_bytes_metric(self) -> float:
+        total = 0
+        for engine in self.engines:
+            gpu = getattr(engine, "gpu", None)
+            if gpu is not None:
+                total += gpu.used_bytes
+        return float(total)
+
+    # ------------------------------------------------------------------ #
     # Region hooks (cross-shard work stealing; see serving.region)
     # ------------------------------------------------------------------ #
     def on_capacity(self, callback) -> None:
@@ -1459,6 +1617,12 @@ class DataParallelCluster:
         delay = self._now() - enqueued_at
         request.dispatch_queue_delay += delay
         self.stats.queue_delays.append(delay)
+        if self._tracer is not None:
+            # The span lands on the *thief's* dispatcher track: that is
+            # where the wait ended and the work ran.
+            self._tracer.span("dispatch", enqueued_at, self._now(),
+                              self._trace_tid, request.request_id,
+                              lane="stolen")
         if self.tenancy is not None:
             book = self._book(request)
             book.stolen += 1

@@ -1,0 +1,255 @@
+"""Per-request span tracing on the simulated clock.
+
+A :class:`Tracer` is a passive sink: instrumented subsystems push spans
+and instants into it as their existing event callbacks run, and it never
+schedules simulator events of its own.  Determinism therefore comes for
+free — hook sites fire in the simulator's strict ``(time, seq)`` order,
+so two same-seed runs append the exact same records in the exact same
+order, and the exported JSON is byte-identical.
+
+**Null-object hook protocol.**  Every instrumented object carries a
+``_tracer`` attribute that defaults to ``None`` and is only set by an
+explicit ``attach_tracer(...)`` call after construction.  Hook sites are
+written as::
+
+    if self._tracer is not None:
+        self._tracer.instant("shed", now, self._trace_tid, ...)
+
+so the disabled path is a single attribute load and an ``is not None``
+test — no call, no allocation, nothing for the hot-path benchmark to
+notice (the CI gate holds the tracer-off path to the same 15k events/s
+floor as before, and the tracer-on path to a bounded overhead).
+
+**Track model** (mirrors the Chrome trace-event pid/tid scheme):
+
+* one process (``pid`` 1) per run;
+* dispatcher shard ``s`` gets track ``tid = s + 1``;
+* replica ``r`` behind shard ``s`` gets ``tid = 1000 * (s + 1) + r``.
+
+The stride keeps replica tracks grouped under their shard in the
+Perfetto UI and leaves room for fleets up to 999 replicas per shard —
+larger than anything the benchmarks run.
+
+**Span vocabulary** (all built from the request's timeline stamps at
+finish time, so replica attribution is exact even after migration):
+
+==============  ==========================================================
+span            interval
+==============  ==========================================================
+``dispatch``    arrival -> engine submit (global-queue wait; recorded on
+                the dispatcher track by the queue-release path)
+``queue``       engine submit -> batch admission
+``adapter_load``  admission -> adapter ready (only when the request
+                actually waited on a load)
+``prefill``     prefill start -> first token
+``decode``      first token -> finish
+``execute``     prefill start -> finish (parent of prefill/decode)
+==============  ==========================================================
+
+Instant annotations cover everything that *shapes* a request's timeline
+without being an interval on it: SLO ``shed``/``deprioritize``, region
+``spill``/``steal``, fault injection, crash ``migrate`` retries, replica
+lifecycle transitions, and autoscaler actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: The single trace-event process id; tracks are threads under it.
+PID = 1
+
+#: Replica tracks are strided per shard (shard s replica r ->
+#: ``1000 * (s + 1) + r``) so they group under their dispatcher.
+REPLICA_TID_STRIDE = 1000
+
+
+def dispatcher_tid(shard: int = 0) -> int:
+    """Track id of dispatcher shard ``shard`` (shard 0 -> tid 1)."""
+    return shard + 1
+
+
+def replica_tid(shard: int, index: int) -> int:
+    """Track id of replica ``index`` behind dispatcher shard ``shard``."""
+    return REPLICA_TID_STRIDE * (shard + 1) + index
+
+
+@dataclass(slots=True)
+class Span:
+    """One closed interval on a track, in simulated seconds."""
+
+    name: str
+    start: float
+    end: float
+    tid: int
+    request_id: Optional[int] = None
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(slots=True)
+class Instant:
+    """One point annotation on a track, in simulated seconds."""
+
+    name: str
+    time: float
+    tid: int
+    args: dict = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects spans and instants; exporters read it after the run.
+
+    Records arrive in simulator event order (hook sites are inside event
+    callbacks) and are never reordered here, so the collection order is
+    itself deterministic.
+
+    The per-request finish path is the volume producer (4-5 spans per
+    request), so :meth:`record_request` only appends one compact tuple of
+    timeline stamps; the :class:`Span` objects and slow-trace rows are
+    materialized lazily, on first read through :attr:`spans` /
+    :attr:`requests` — after the timed run, not inside it.  That keeps
+    the tracer-on overhead inside the benchmark gate without losing any
+    record.
+    """
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+        self.instants: list[Instant] = []
+        #: tid -> human-readable track name (Perfetto ``thread_name``).
+        self.tracks: dict[int, str] = {}
+        #: request_id -> summary row for the slow-trace report, written
+        #: when the request's raw finish record is materialized.
+        self._requests: dict[int, dict] = {}
+        #: Unmaterialized finish records as parallel flat lists (see
+        #: :meth:`record_request`) — appending an existing object and an
+        #: int allocates no new GC-tracked containers, which keeps the
+        #: collector quiet during the timed run.
+        self._raw_requests: list = []
+        self._raw_tids: list[int] = []
+
+    @property
+    def spans(self) -> list[Span]:
+        """Every recorded span, materializing pending finish records."""
+        self._flush()
+        return self._spans
+
+    @property
+    def requests(self) -> dict[int, dict]:
+        """Per-request summary rows (request_id -> row), materialized."""
+        self._flush()
+        return self._requests
+
+    # ------------------------------------------------------------------ #
+    # Track registration
+    # ------------------------------------------------------------------ #
+    def register_track(self, tid: int, name: str) -> None:
+        """Name a track; the first registration of a tid wins."""
+        self.tracks.setdefault(tid, name)
+
+    # ------------------------------------------------------------------ #
+    # Raw record sinks
+    # ------------------------------------------------------------------ #
+    def span(self, name: str, start: float, end: float, tid: int,
+             request_id: Optional[int] = None, **args: Any) -> None:
+        """Record one closed interval (``end >= start`` expected)."""
+        self._spans.append(Span(name, start, end, tid, request_id, args))
+
+    def instant(self, name: str, time: float, tid: int,
+                **args: Any) -> None:
+        """Record one point annotation."""
+        self.instants.append(Instant(name, time, tid, args))
+
+    # ------------------------------------------------------------------ #
+    # Request lifecycle (called by ServingEngine._finish)
+    # ------------------------------------------------------------------ #
+    def record_request(self, request: Any, tid: int) -> None:
+        """Log the request's timeline stamps; spans come later.
+
+        Called once per finished request from the owning engine's finish
+        path — the per-event hot path, so this is two bare list appends:
+        no tuple, no dict, no attribute reads (requests are never
+        recycled, so their stamps are stable after finish).  The stamps
+        (enqueue/admit/adapter-ready/prefill/first-token) survive
+        migration, so the materialized spans land on the replica that
+        actually served the request.
+        """
+        self._raw_requests.append(request)
+        self._raw_tids.append(tid)
+
+    def _flush(self) -> None:
+        """Materialize pending finish records into spans + summary rows.
+
+        Order is the recording (finish) order, so two same-seed runs
+        materialize identical lists regardless of *when* each flushed.
+        """
+        if not self._raw_requests:
+            return
+        raw = zip(self._raw_requests, self._raw_tids)
+        self._raw_requests, self._raw_tids = [], []
+        append = self._spans.append
+        for request, tid in raw:
+            rid = request.request_id
+            arrival = request.arrival_time
+            enq = request.enqueue_time
+            admit = request.admit_time
+            ready = request.adapter_ready_time
+            prefill = request.prefill_start_time
+            first = request.first_token_time
+            finish = request.finish_time
+            retries = request.retry_count
+            adapter = request.adapter_id
+            tenant = request.tenant_id
+            slo_class = request.slo_class
+            args: dict = {}
+            if adapter is not None:
+                args["adapter"] = adapter
+            if tenant is not None:
+                args["tenant"] = tenant
+            if slo_class is not None:
+                args["slo_class"] = slo_class
+            if retries:
+                args["retries"] = retries
+            if enq is not None and admit is not None:
+                append(Span("queue", enq, admit, tid, rid, args))
+            if admit is not None and ready is not None and ready > admit:
+                append(Span("adapter_load", admit, ready, tid, rid, args))
+            if prefill is not None and finish is not None:
+                append(Span("execute", prefill, finish, tid, rid, args))
+            if prefill is not None and first is not None:
+                append(Span("prefill", prefill, first, tid, rid, args))
+            if first is not None and finish is not None:
+                append(Span("decode", first, finish, tid, rid, args))
+            row = dict(
+                request_id=rid, tid=tid, arrival=arrival,
+                ttft=(first - arrival) if first is not None else None,
+                e2e=(finish - arrival) if finish is not None else None,
+                retries=retries)
+            row.update(args)
+            self._requests[rid] = row
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers (used by exporters and tests)
+    # ------------------------------------------------------------------ #
+    def spans_for(self, request_id: int) -> list[Span]:
+        """Every span of one request, in recording order."""
+        return [s for s in self.spans if s.request_id == request_id]
+
+    def span_names(self) -> set[str]:
+        return {s.name for s in self.spans}
+
+    def instant_names(self) -> set[str]:
+        return {i.name for i in self.instants}
+
+    def slowest(self, k: int) -> list[dict]:
+        """The ``k`` finished requests with the worst TTFT, worst first.
+
+        Ties break on request id so the report is deterministic.
+        """
+        rows = [r for r in self.requests.values() if r["ttft"] is not None]
+        rows.sort(key=lambda r: (-r["ttft"], r["request_id"]))
+        return rows[:max(0, k)]

@@ -114,6 +114,26 @@ class SloPolicy:
             return False
         return request.ttft <= self.deadline_for(request)
 
+    def trace_args(self, request: "Request",
+                   deadline: Optional[float] = None) -> dict:
+        """Annotation payload for a shed/deprioritize trace instant.
+
+        One place decides what an SLO decision looks like in a trace:
+        the policy mode, the effective deadline that was missed, and the
+        request's SLO class when it has one.  ``deadline`` lets callers
+        that already computed :meth:`deadline_for` pass it through
+        instead of paying the lookup twice.
+        """
+        args: dict = {
+            "mode": self.mode,
+            "deadline": self.deadline_for(request) if deadline is None
+            else deadline,
+        }
+        slo_class = getattr(request, "slo_class", None)
+        if slo_class is not None:
+            args["slo_class"] = slo_class
+        return args
+
 
 @dataclass(frozen=True)
 class TenantFairnessPolicy:

@@ -282,6 +282,16 @@ class Autoscaler:
         self._log_cursor = 0
         self._until: Optional[float] = None
         self._tick_event = None
+        #: Observability hook (see repro.obs): ``None`` keeps the
+        #: ``_record`` hook site a bare attribute check.
+        self._tracer = None
+        self._trace_tid = 1
+
+    def attach_tracer(self, tracer, tid: int = 1) -> None:
+        """Mirror every scale event as an ``autoscale`` instant on the
+        dispatcher track ``tid`` of the attached tracer."""
+        self._tracer = tracer
+        self._trace_tid = tid
 
     # ------------------------------------------------------------------ #
     # Control-loop scheduling
@@ -809,6 +819,11 @@ class Autoscaler:
             utilization=round(utilization, 6),
             **extra,
         ))
+        if self._tracer is not None:
+            self._tracer.instant(
+                "autoscale", self.sim.now, self._trace_tid,
+                action=action, replicas=list(indices),
+                fleet_size=self.cluster.fleet_size())
 
 
 def _spec_capability(spec) -> float:

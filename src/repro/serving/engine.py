@@ -131,6 +131,11 @@ class ServingEngine:
         self.all_requests: list[Request] = []
         self.batch_occupancy: list[tuple[float, int]] = []
         self.failed = False                 # crashed by fault injection
+        #: Observability hook (see repro.obs): ``None`` means tracing is
+        #: off and every hook site is a single attribute check.  The
+        #: cluster's ``attach_tracer`` sets both after construction.
+        self._tracer = None
+        self._trace_tid = 0
         #: Degrade-fault service-rate multiplier (1.0 = healthy; 0.5 = every
         #: iteration takes twice as long).  Exactly 1.0 leaves the iteration
         #: cost path untouched, bit for bit.
@@ -678,6 +683,12 @@ class ServingEngine:
         if request.adapter_id is not None:
             self.adapter_manager.release(request.adapter_id)
         self.scheduler.on_finish(request, now)
+        if self._tracer is not None:
+            # The request's whole span waterfall (queue, adapter load,
+            # prefill/decode, execute) is built here, from its timeline
+            # stamps, so even a migrated request lands its spans on the
+            # replica that actually finished it.
+            self._tracer.record_request(request, self._trace_tid)
 
     # ------------------------------------------------------------------ #
     def _schedule_memory_sampling(self, horizon: float) -> None:

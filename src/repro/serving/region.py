@@ -181,10 +181,32 @@ class ServingRegion:
         #: request can finish work synchronously in degenerate tests and
         #: re-fire the capacity hook mid-steal.
         self._stealing = False
+        #: Observability hook (see repro.obs): ``None`` keeps every
+        #: spill/steal hook site a bare attribute check.
+        self._tracer = None
         if config.steal and config.n_shards > 1:
             for index, system in enumerate(self.systems):
                 system.cluster.on_capacity(
                     lambda thief=index: self._steal_into(thief))
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def attach_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.obs.Tracer` region-wide: shard ``i``'s
+        dispatcher lands on track ``i + 1`` and its replicas on tids
+        ``1000 * (i + 1) + index``, so the Perfetto view groups every
+        replica under its shard.  Spill/steal decisions are annotated on
+        the shards they move work between."""
+        self._tracer = tracer
+        for index, system in enumerate(self.systems):
+            system.attach_tracer(tracer, shard=index)
+
+    def attach_metrics(self, registry) -> None:
+        """Register every shard's gauges on ``registry``, namespaced
+        ``s0_``, ``s1_``, ... (one registry, one merged timeseries)."""
+        for index, system in enumerate(self.systems):
+            system.cluster.attach_metrics(registry, prefix=f"s{index}_")
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -242,6 +264,11 @@ class ServingRegion:
             target = self._spill_target(home)
             if target is not None:
                 self.stats.cross_shard_spills += 1
+                if self._tracer is not None:
+                    self._tracer.instant(
+                        "spill", self.sim.now, home + 1,
+                        request_id=request.request_id,
+                        from_shard=home, to_shard=target)
                 self.stats.routed[target] += 1
                 self.systems[target].cluster.dispatch(request)
                 return target
@@ -319,6 +346,11 @@ class ServingRegion:
                 if entry is None:
                     return  # defensive: the donor's queue emptied under us
                 self.stats.steals += 1
+                if self._tracer is not None:
+                    self._tracer.instant(
+                        "steal", self.sim.now, thief + 1,
+                        request_id=entry[0].request_id,
+                        donor=donor, thief=thief)
                 cluster.accept_stolen(entry)
         finally:
             self._stealing = False

@@ -486,6 +486,33 @@ class MultiReplicaSystem:
             system.engine, provision_delay=provision_delay,
             warmup_delay=warmup_delay)
 
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def attach_tracer(self, tracer, shard: int = 0) -> None:
+        """Attach a :class:`repro.obs.Tracer` to every moving part of this
+        system: the dispatch cluster (queue/dispatch spans, SLO and
+        migration annotations, per-request span waterfalls on the replica
+        tracks), the autoscaler (scale decisions), and the fault injector
+        (crash/stall/degrade marks).  ``shard`` namespaces the Perfetto
+        tracks when several systems share one tracer (see
+        :class:`~repro.serving.region.ServingRegion`)."""
+        from repro.obs.tracer import dispatcher_tid
+
+        self.cluster.attach_tracer(tracer, shard=shard)
+        if self.autoscaler is not None:
+            self.autoscaler.attach_tracer(tracer, tid=dispatcher_tid(shard))
+        if self.fault_injector is not None:
+            self.fault_injector.attach_tracer(
+                tracer, tid=dispatcher_tid(shard))
+
+    def attach_metrics(self, registry, prefix: str = "") -> None:
+        """Register this system's gauges/histograms on ``registry`` (queue
+        depth, in-flight, cache hit rate, GPU bytes, TTFT, ...).  Call
+        ``registry.install(sim, interval, until)`` to sample them into a
+        deterministic timeseries."""
+        self.cluster.attach_metrics(registry, prefix=prefix)
+
     def run_trace(self, requests, horizon: Optional[float] = None) -> None:
         """Dispatch every arrival through the global scheduler and run."""
         last_arrival = 0.0

@@ -97,6 +97,33 @@ class Simulator:
         heapq.heappush(self._heap, (time, event.seq, event))
         return event
 
+    def schedule_periodic(self, interval: float, callback: Callable[[], Any],
+                          until: float) -> Optional[Event]:
+        """Fire ``callback()`` every ``interval`` seconds, up to ``until``.
+
+        The generalized self-rescheduling-closure idiom (metrics
+        sampling, memory telemetry): each firing reschedules the next
+        one, and the chain stops once the next firing would land past
+        ``until`` — a bounded horizon is *required*, because an
+        unconditionally rescheduling event would keep ``run()`` alive
+        forever on runs that drain their heap naturally.
+
+        Returns the first scheduled :class:`Event` (cancel it to stop
+        the whole chain before it starts), or ``None`` when even the
+        first firing would land past ``until``.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if self.now + interval > until:
+            return None
+
+        def _tick() -> None:
+            callback()
+            if self.now + interval <= until:
+                self.schedule(interval, _tick)
+
+        return self.schedule(interval, _tick)
+
     def cancel(self, event: Event) -> None:
         """Cancel a pending event.  Cancelling twice is harmless.
 

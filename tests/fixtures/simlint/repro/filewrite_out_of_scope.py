@@ -1,0 +1,6 @@
+"""Fixture: file writes outside the D009 runtime scope (no violation)."""
+
+
+def write_report(path: str, table: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(table)

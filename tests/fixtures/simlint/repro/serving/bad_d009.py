@@ -1,0 +1,22 @@
+"""Fixture: file writes from a runtime module (D009, in scope)."""
+
+from pathlib import Path
+
+
+def dump_state(path: str, payload: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(payload)
+
+
+def append_log(path: str, line: str) -> None:
+    with open(path, mode="a") as fh:
+        fh.write(line)
+
+
+def save(path: Path, payload: str) -> None:
+    path.write_text(payload)
+
+
+def read_back(path: str) -> str:
+    with open(path) as fh:  # read mode: not a violation
+        return fh.read()

@@ -31,6 +31,9 @@ BAD_FIXTURES = [
     # inside the pyproject D007 scope, mirroring serving/bad_d003.py.
     "serving/d007",
     "bad_d008.py",
+    # Lives under serving/ so the path falls inside the D009 runtime
+    # scope (file writes are fine in offline tooling).
+    "serving/bad_d009.py",
 ]
 
 
@@ -51,9 +54,9 @@ def run_cli(*args: str) -> subprocess.CompletedProcess:
 # --------------------------------------------------------------------- #
 # Rule catalogue
 # --------------------------------------------------------------------- #
-def test_catalogue_is_d001_through_d008_in_order():
+def test_catalogue_is_d001_through_d009_in_order():
     codes = [cls.code for cls in all_rule_classes()]
-    assert codes == [f"D00{i}" for i in range(1, 9)]
+    assert codes == [f"D00{i}" for i in range(1, 10)]
 
 
 def test_every_rule_carries_rationale_and_hint():
@@ -125,6 +128,15 @@ def test_d008_flags_blanket_type_ignore():
     assert [v.code for v in violations] == ["D008"]
 
 
+def test_d009_flags_runtime_file_writes_in_scope():
+    violations = lint("serving/bad_d009.py")
+    assert [v.code for v in violations] == ["D009"] * 3
+    messages = " / ".join(v.message for v in violations)
+    assert "'w'" in messages
+    assert "'a'" in messages
+    assert "write_text" in messages
+
+
 # --------------------------------------------------------------------- #
 # True negatives, suppressions, allowlists, scoping
 # --------------------------------------------------------------------- #
@@ -134,6 +146,10 @@ def test_clean_fixture_has_no_violations():
 
 def test_d003_does_not_fire_outside_its_scope():
     assert lint("unordered_out_of_scope.py") == []
+
+
+def test_d009_does_not_fire_outside_its_scope():
+    assert lint("filewrite_out_of_scope.py") == []
 
 
 def test_justified_suppression_silences_the_line():
@@ -215,7 +231,7 @@ def test_cli_exits_two_on_missing_path():
 def test_cli_list_rules_prints_the_catalogue():
     result = run_cli("--list-rules")
     assert result.returncode == 0
-    for i in range(1, 9):
+    for i in range(1, 10):
         assert f"D00{i}" in result.stdout
     assert "D000" in result.stdout
 
